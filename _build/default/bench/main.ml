@@ -1,0 +1,480 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Section V).
+
+     dune exec bench/main.exe                 -- run everything
+     dune exec bench/main.exe -- fig8 table2  -- run a subset
+
+   Sections:
+     table1   hardware configuration (Table I)
+     fig8     throughput / latency vs parallelism, normalised to the
+              PUMA-like baseline (Fig. 8) + the headline geo-means
+     fig9     energy breakdown at parallelism 20 (Fig. 9)
+     fig10    memory-reuse optimisation (Fig. 10)
+     table2   compile time per stage (Table II)
+     ablation GA vs random search vs PUMA-like (DESIGN.md extension)
+     micro    Bechamel micro-benchmarks of the compiler stages
+
+   Networks run at 1/4 of their native input resolution (layer structure
+   unchanged — see DESIGN.md §1) so the whole suite completes in
+   minutes; EXPERIMENTS.md records paper-vs-measured at these scales. *)
+
+let hw = Pimhw.Config.puma_like
+
+let networks =
+  List.map
+    (fun name -> (name, Nnir.Zoo.scaled_input_size ~factor:4 name))
+    Nnir.Zoo.paper_benchmarks
+
+(* GA configuration for the sweep sections: smaller than the paper's
+   population 100 x 200 iterations (used in table2, where compile time
+   itself is the measurement) but converged enough to show the shape. *)
+let ga_params =
+  {
+    Pimcomp.Genetic.default_params with
+    population = 40;
+    iterations = 100;
+    patience = Some 30;
+  }
+
+let graphs : (string, Nnir.Graph.t) Hashtbl.t = Hashtbl.create 8
+
+let graph_of (name, size) =
+  match Hashtbl.find_opt graphs name with
+  | Some g -> g
+  | None ->
+      let g = Nnir.Zoo.build ~input_size:size name in
+      Hashtbl.add graphs name g;
+      g
+
+let compile_and_sim ?(allocator = Pimcomp.Memalloc.Ag_reuse) ~mode ~strategy
+    ~parallelism net =
+  let options =
+    {
+      Pimcomp.Compile.default_options with
+      mode;
+      parallelism;
+      allocator;
+      strategy;
+    }
+  in
+  let result = Pimcomp.Compile.compile ~options hw (graph_of net) in
+  let metrics =
+    Pimsim.Engine.run ~parallelism hw result.Pimcomp.Compile.program
+  in
+  (result, metrics)
+
+let ga = Pimcomp.Compile.Genetic_algorithm ga_params
+let puma = Pimcomp.Compile.Puma_like
+
+let geo_mean values =
+  match values with
+  | [] -> 1.0
+  | _ ->
+      exp
+        (List.fold_left (fun acc v -> acc +. log v) 0.0 values
+        /. float_of_int (List.length values))
+
+let hr = String.make 78 '-'
+
+let section name f =
+  Fmt.pr "@.%s@.== %s@.%s@." hr name hr;
+  f ()
+
+(* --- Table I ---------------------------------------------------------------- *)
+
+let table1 () =
+  Fmt.pr "%a@.@." Pimhw.Config.pp_table hw;
+  Fmt.pr "derived models:@.";
+  Fmt.pr "  %a@."
+    Pimhw.Cacti_model.pp
+    (Pimhw.Cacti_model.evaluate
+       ~capacity_bytes:hw.Pimhw.Config.local_memory_bytes);
+  Fmt.pr "  %a@."
+    Pimhw.Cacti_model.pp
+    (Pimhw.Cacti_model.evaluate
+       ~capacity_bytes:hw.Pimhw.Config.global_memory_bytes);
+  Fmt.pr "  %a@." Pimhw.Orion_model.pp (Pimhw.Orion_model.evaluate ());
+  Fmt.pr "  %a@." Pimhw.Energy_model.pp (Pimhw.Energy_model.create hw)
+
+(* --- Fig. 8 ----------------------------------------------------------------- *)
+
+let fig8 () =
+  let parallelisms = [ 4; 8; 16; 32 ] in
+  Fmt.pr
+    "Throughput (HT) and latency (LL) of PIMCOMP normalised to the PUMA-like@.\
+     baseline, vs parallelism degree (paper Fig. 8).  > 1.00x means PIMCOMP \
+     wins.@.@.";
+  Fmt.pr "%-14s %5s | %12s %12s | %12s %12s@." "network" "P" "HT thr (GA)"
+    "HT norm" "LL lat (GA)" "LL norm";
+  let ht_gains = ref [] and ll_gains = ref [] in
+  List.iter
+    (fun net ->
+      List.iter
+        (fun parallelism ->
+          let _, ht_ga =
+            compile_and_sim ~mode:Pimcomp.Mode.High_throughput ~strategy:ga
+              ~parallelism net
+          in
+          let _, ht_puma =
+            compile_and_sim ~mode:Pimcomp.Mode.High_throughput ~strategy:puma
+              ~parallelism net
+          in
+          let _, ll_ga =
+            compile_and_sim ~mode:Pimcomp.Mode.Low_latency ~strategy:ga
+              ~parallelism net
+          in
+          let _, ll_puma =
+            compile_and_sim ~mode:Pimcomp.Mode.Low_latency ~strategy:puma
+              ~parallelism net
+          in
+          let ht_norm =
+            ht_ga.Pimsim.Metrics.throughput_ips
+            /. ht_puma.Pimsim.Metrics.throughput_ips
+          in
+          let ll_norm =
+            ll_puma.Pimsim.Metrics.latency_ns
+            /. ll_ga.Pimsim.Metrics.latency_ns
+          in
+          ht_gains := ht_norm :: !ht_gains;
+          ll_gains := ll_norm :: !ll_gains;
+          Fmt.pr "%-14s %5d | %9.0f/s %11.2fx | %9.1fus %11.2fx@." (fst net)
+            parallelism ht_ga.Pimsim.Metrics.throughput_ips ht_norm
+            (ll_ga.Pimsim.Metrics.latency_ns /. 1e3)
+            ll_norm)
+        parallelisms;
+      Fmt.pr "@.")
+    networks;
+  Fmt.pr "geo-mean across networks and parallelism degrees:@.";
+  Fmt.pr "  throughput (HT): %.2fx   latency (LL): %.2fx@."
+    (geo_mean !ht_gains) (geo_mean !ll_gains);
+  Fmt.pr "  (paper reports 1.6x and 2.4x on the authors' testbed)@."
+
+(* --- Fig. 9 ----------------------------------------------------------------- *)
+
+let fig9 () =
+  let parallelism = 20 in
+  Fmt.pr
+    "Energy breakdown at parallelism degree 20, normalised to the PUMA-like@.\
+     total (paper Fig. 9).@.@.";
+  Fmt.pr "%-14s %-4s | %8s %8s %8s | %8s %8s %8s | %9s@." "network" "mode"
+    "GA dyn" "GA stat" "GA tot" "P dyn" "P stat" "P tot" "stat red.";
+  let ll_static_reductions = ref [] in
+  List.iter
+    (fun net ->
+      List.iter
+        (fun mode ->
+          let _, m_ga = compile_and_sim ~mode ~strategy:ga ~parallelism net in
+          let _, m_puma =
+            compile_and_sim ~mode ~strategy:puma ~parallelism net
+          in
+          let dyn m = Pimsim.Metrics.dynamic_pj m.Pimsim.Metrics.energy in
+          let stat m = Pimsim.Metrics.static_pj m.Pimsim.Metrics.energy in
+          let base = dyn m_puma +. stat m_puma in
+          let reduction = 1.0 -. (stat m_ga /. stat m_puma) in
+          if mode = Pimcomp.Mode.Low_latency then
+            ll_static_reductions := reduction :: !ll_static_reductions;
+          Fmt.pr
+            "%-14s %-4s | %8.3f %8.3f %8.3f | %8.3f %8.3f %8.3f | %8.1f%%@."
+            (fst net)
+            (Pimcomp.Mode.to_string mode)
+            (dyn m_ga /. base) (stat m_ga /. base)
+            ((dyn m_ga +. stat m_ga) /. base)
+            (dyn m_puma /. base) (stat m_puma /. base) 1.0
+            (reduction *. 100.0))
+        Pimcomp.Mode.all)
+    networks;
+  let avg =
+    List.fold_left ( +. ) 0.0 !ll_static_reductions
+    /. float_of_int (max 1 (List.length !ll_static_reductions))
+  in
+  Fmt.pr "@.average LL static-energy reduction: %.1f%% (paper: 58.3%%)@."
+    (avg *. 100.0)
+
+(* --- Fig. 10 ---------------------------------------------------------------- *)
+
+let fig10 () =
+  let parallelism = 20 in
+  let allocators =
+    [ Pimcomp.Memalloc.Naive; Pimcomp.Memalloc.Add_reuse;
+      Pimcomp.Memalloc.Ag_reuse ]
+  in
+  Fmt.pr
+    "Memory-reuse optimisation (paper Fig. 10).  HT: global-memory access@.\
+     normalised to the naive allocator (transfer batch = 2 MVMs, as in the@.\
+     paper).  LL: peak on-chip memory vs the 64 kB scratchpad.@.@.";
+  Fmt.pr "HT mode - global memory traffic (normalised to naive):@.";
+  Fmt.pr "%-14s | %8s %10s %9s@." "network" "naive" "ADD-reuse" "AG-reuse";
+  let reductions = ref [] in
+  List.iter
+    (fun net ->
+      let traffic allocator =
+        let r, _ =
+          compile_and_sim ~allocator ~mode:Pimcomp.Mode.High_throughput
+            ~strategy:puma ~parallelism net
+        in
+        let m = r.Pimcomp.Compile.program.Pimcomp.Isa.memory in
+        float_of_int
+          (m.Pimcomp.Isa.global_load_bytes + m.Pimcomp.Isa.global_store_bytes
+         + m.Pimcomp.Isa.spill_bytes)
+      in
+      match List.map traffic allocators with
+      | [ naive; add; ag ] ->
+          reductions := (1.0 -. (ag /. naive)) :: !reductions;
+          Fmt.pr "%-14s | %8.3f %10.3f %9.3f@." (fst net) 1.0 (add /. naive)
+            (ag /. naive)
+      | _ -> assert false)
+    networks;
+  let avg =
+    List.fold_left ( +. ) 0.0 !reductions
+    /. float_of_int (max 1 (List.length !reductions))
+  in
+  Fmt.pr "average AG-reuse reduction: %.1f%% (paper: 47.8%%)@.@."
+    (avg *. 100.0);
+  Fmt.pr "LL mode - peak on-chip memory per core (kB):@.";
+  Fmt.pr "%-14s | %8s %8s | %8s %8s | %8s %8s@." "" "naive" "" "ADD" "" "AG"
+    "";
+  Fmt.pr "%-14s | %8s %8s | %8s %8s | %8s %8s@." "network" "max" "avg" "max"
+    "avg" "max" "avg";
+  List.iter
+    (fun net ->
+      let peaks allocator =
+        let r, _ =
+          compile_and_sim ~allocator ~mode:Pimcomp.Mode.Low_latency
+            ~strategy:puma ~parallelism net
+        in
+        let peaks =
+          r.Pimcomp.Compile.program.Pimcomp.Isa.memory
+            .Pimcomp.Isa.local_peak_bytes
+        in
+        let active = Array.to_list peaks |> List.filter (fun p -> p > 0) in
+        let avg =
+          float_of_int (List.fold_left ( + ) 0 active)
+          /. float_of_int (max 1 (List.length active))
+          /. 1024.0
+        in
+        (float_of_int (Array.fold_left max 0 peaks) /. 1024.0, avg)
+      in
+      match List.map peaks allocators with
+      | [ (n_max, n_avg); (a_max, a_avg); (g_max, g_avg) ] ->
+          Fmt.pr "%-14s | %8.1f %8.1f | %8.1f %8.1f | %8.1f %8.1f%s@."
+            (fst net) n_max n_avg a_max a_avg g_max g_avg
+            (if g_avg <= 64.0 then "  (avg fits 64 kB)" else "")
+      | _ -> assert false)
+    networks;
+  Fmt.pr "(paper: LL average within 64 kB under AG-reuse)@."
+
+(* --- Table II --------------------------------------------------------------- *)
+
+let table2 () =
+  Fmt.pr
+    "Compile time in seconds per stage (paper Table II).  GA with the@.\
+     paper's parameters: population 100, 200 iterations.@.@.";
+  Fmt.pr "%-22s" "stage";
+  List.iter (fun (name, _) -> Fmt.pr " | %12s" name) networks;
+  Fmt.pr "@.%-22s" "";
+  List.iter (fun _ -> Fmt.pr " | %5s %6s" "HT" "LL") networks;
+  Fmt.pr "@.";
+  let paper_params =
+    { Pimcomp.Genetic.default_params with patience = Some 60 }
+  in
+  let results =
+    List.map
+      (fun net ->
+        List.map
+          (fun mode ->
+            let options =
+              {
+                Pimcomp.Compile.default_options with
+                mode;
+                parallelism = 20;
+                strategy = Pimcomp.Compile.Genetic_algorithm paper_params;
+              }
+            in
+            let r = Pimcomp.Compile.compile ~options hw (graph_of net) in
+            r.Pimcomp.Compile.stage_seconds)
+          Pimcomp.Mode.all)
+      networks
+  in
+  let row label f =
+    Fmt.pr "%-22s" label;
+    List.iter
+      (fun stages ->
+        match stages with
+        | [ ht; ll ] -> Fmt.pr " | %5.2f %6.2f" (f ht) (f ll)
+        | _ -> assert false)
+      results;
+    Fmt.pr "@."
+  in
+  row "Node Partitioning" (fun s -> s.Pimcomp.Compile.partitioning);
+  row "Replicating+Mapping" (fun s -> s.Pimcomp.Compile.replicating_mapping);
+  row "Dataflow Scheduling" (fun s -> s.Pimcomp.Compile.scheduling);
+  row "Total" (fun s -> s.Pimcomp.Compile.total)
+
+(* --- ablation ----------------------------------------------------------------- *)
+
+let ablation () =
+  Fmt.pr
+    "Mapping-strategy ablation (DESIGN.md extension): the GA against random@.\
+     search with the same evaluation budget and the PUMA-like heuristic.@.\
+     Values are simulated makespans (us) at parallelism 8.@.@.";
+  Fmt.pr "%-14s %-4s | %10s %10s %10s@." "network" "mode" "GA" "random"
+    "PUMA-like";
+  List.iter
+    (fun net ->
+      List.iter
+        (fun mode ->
+          let time strategy =
+            let _, m = compile_and_sim ~mode ~strategy ~parallelism:8 net in
+            m.Pimsim.Metrics.makespan_ns /. 1e3
+          in
+          let small = { ga_params with population = 16; iterations = 40 } in
+          Fmt.pr "%-14s %-4s | %10.1f %10.1f %10.1f@." (fst net)
+            (Pimcomp.Mode.to_string mode)
+            (time (Pimcomp.Compile.Genetic_algorithm small))
+            (time (Pimcomp.Compile.Random_search small))
+            (time puma))
+        Pimcomp.Mode.all)
+    [ ("squeezenet", 56); ("resnet18", 56) ];
+  Fmt.pr
+    "@.Objective ablation: time-only vs energy-delay-product GA (LL, P=8).@.@.";
+  Fmt.pr "%-14s | %12s %12s | %12s %12s@." "network" "time: us" "uJ"
+    "edp: us" "uJ";
+  List.iter
+    (fun net ->
+      let run objective =
+        let options =
+          {
+            Pimcomp.Compile.default_options with
+            mode = Pimcomp.Mode.Low_latency;
+            parallelism = 8;
+            objective;
+            strategy = Pimcomp.Compile.Genetic_algorithm ga_params;
+          }
+        in
+        let r = Pimcomp.Compile.compile ~options hw (graph_of net) in
+        let m = Pimsim.Engine.run ~parallelism:8 hw r.Pimcomp.Compile.program in
+        ( m.Pimsim.Metrics.makespan_ns /. 1e3,
+          Pimsim.Metrics.total_pj m.Pimsim.Metrics.energy /. 1e6 )
+      in
+      let t_us, t_uj = run Pimcomp.Fitness.Minimize_time in
+      let e_us, e_uj = run Pimcomp.Fitness.Minimize_energy_delay in
+      Fmt.pr "%-14s | %12.1f %12.1f | %12.1f %12.1f@." (fst net) t_us t_uj
+        e_us e_uj)
+    [ ("squeezenet", 56); ("googlenet", 56) ]
+
+(* --- batch validation --------------------------------------------------------- *)
+
+(* Validates the Fig. 8 throughput reading: single-stream HT throughput
+   (1/makespan) against the true steady-state interval measured by
+   simulating back-to-back inferences sharing the physical crossbars. *)
+let batch () =
+  Fmt.pr
+    "Steady-state validation: single-stream HT throughput vs a batch of 4@.\
+     back-to-back inferences (parallelism 20).@.@.";
+  Fmt.pr "%-14s | %14s %14s | %8s@." "network" "single inf/s" "steady inf/s"
+    "ratio";
+  List.iter
+    (fun net ->
+      let r, single =
+        compile_and_sim ~mode:Pimcomp.Mode.High_throughput ~strategy:puma
+          ~parallelism:20 net
+      in
+      let b =
+        Pimsim.Batch.run ~parallelism:20 hw r.Pimcomp.Compile.program
+          ~batches:4
+      in
+      let steady = 1e9 /. b.Pimsim.Batch.steady_interval_ns in
+      Fmt.pr "%-14s | %14.0f %14.0f | %8.2f@." (fst net)
+        single.Pimsim.Metrics.throughput_ips steady
+        (steady /. single.Pimsim.Metrics.throughput_ips))
+    networks;
+  Fmt.pr
+    "@.ratios near 1.0 mean the single-stream makespan is a faithful@.\
+     steady-state interval, as Fig. 8's throughput numbers assume.@."
+
+(* --- Bechamel micro-benchmarks ------------------------------------------------ *)
+
+let micro () =
+  let open Bechamel in
+  let g = graph_of ("squeezenet", 56) in
+  let table = Pimcomp.Partition.of_graph hw g in
+  let core_count = Pimcomp.Partition.fit_core_count table in
+  let timing = Pimhw.Timing.create ~parallelism:20 hw in
+  let rng = Pimcomp.Rng.create ~seed:1 in
+  let chrom =
+    Pimcomp.Chromosome.compact_initial rng table ~core_count
+      ~max_node_num_in_core:16 ~extra_replica_attempts:8 ()
+  in
+  let layout = Pimcomp.Layout.of_chromosome chrom in
+  let ht_program = Pimcomp.Schedule_ht.schedule layout in
+  let ll_program = Pimcomp.Schedule_ll.schedule layout in
+  let tests =
+    [
+      Test.make ~name:"partition" (Staged.stage (fun () ->
+          ignore (Pimcomp.Partition.of_graph hw g)));
+      Test.make ~name:"fitness-ht" (Staged.stage (fun () ->
+          ignore (Pimcomp.Fitness.ht timing chrom)));
+      Test.make ~name:"fitness-ll" (Staged.stage (fun () ->
+          ignore (Pimcomp.Fitness.ll timing chrom)));
+      Test.make ~name:"mutation" (Staged.stage (fun () ->
+          let c = Pimcomp.Chromosome.copy chrom in
+          ignore (Pimcomp.Chromosome.mutate_random rng c)));
+      Test.make ~name:"schedule-ht" (Staged.stage (fun () ->
+          ignore (Pimcomp.Schedule_ht.schedule layout)));
+      Test.make ~name:"schedule-ll" (Staged.stage (fun () ->
+          ignore (Pimcomp.Schedule_ll.schedule layout)));
+      Test.make ~name:"simulate-ht" (Staged.stage (fun () ->
+          ignore (Pimsim.Engine.run ~parallelism:20 hw ht_program)));
+      Test.make ~name:"simulate-ll" (Staged.stage (fun () ->
+          ignore (Pimsim.Engine.run ~parallelism:20 hw ll_program)));
+    ]
+  in
+  Fmt.pr "Bechamel micro-benchmarks on squeezenet@56 (OLS, ns/run):@.";
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let analysis =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:false
+             ~predictors:[| Measure.run |])
+          instance results
+      in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Fmt.pr "  %-22s %14.1f ns/run@." name est
+          | Some _ | None -> Fmt.pr "  %-22s (no estimate)@." name)
+        analysis)
+    tests
+
+(* --- driver ------------------------------------------------------------------- *)
+
+let sections : (string * (unit -> unit)) list =
+  [
+    ("table1", table1);
+    ("fig8", fig8);
+    ("fig9", fig9);
+    ("fig10", fig10);
+    ("table2", table2);
+    ("ablation", ablation);
+    ("batch", batch);
+    ("micro", micro);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst sections
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name sections with
+      | Some f -> section name f
+      | None ->
+          Fmt.epr "unknown section %S (available: %s)@." name
+            (String.concat ", " (List.map fst sections));
+          exit 1)
+    requested

@@ -1,0 +1,298 @@
+(* pimcomp — command-line front end for the PIMCOMP compilation
+   framework.
+
+     pimcomp networks                          list the model zoo
+     pimcomp table1                            print the hardware table
+     pimcomp compile vgg16 --mode LL ...       compile and report
+     pimcomp simulate vgg16 --mode HT ...      compile + cycle-accurate sim
+     pimcomp export squeezenet --format dot    emit .nnt / .dot
+
+   Networks can be zoo names or paths to .nnt files (the textual model
+   format; see Nnir.Text_format). *)
+
+open Cmdliner
+
+(* --- shared argument definitions ------------------------------------------ *)
+
+let network_arg =
+  let doc = "Zoo network name or path to a .nnt model file." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"NETWORK" ~doc)
+
+let input_size_arg =
+  let doc =
+    "Input resolution (pixels).  Defaults to the network's native size \
+     divided by 4 to keep simulations fast; pass the native size for \
+     full-scale compilation."
+  in
+  Arg.(value & opt (some int) None & info [ "input-size"; "s" ] ~doc)
+
+let mode_arg =
+  let doc = "Compilation mode: HT (high throughput) or LL (low latency)." in
+  let mode_conv =
+    Arg.conv
+      ( (fun s ->
+          match Pimcomp.Mode.of_string s with
+          | m -> Ok m
+          | exception Invalid_argument msg -> Error (`Msg msg)),
+        fun ppf m -> Pimcomp.Mode.pp ppf m )
+  in
+  Arg.(
+    value
+    & opt mode_conv Pimcomp.Mode.High_throughput
+    & info [ "mode"; "m" ] ~doc)
+
+let parallelism_arg =
+  let doc = "Parallelism degree: AGs allowed to compute simultaneously." in
+  Arg.(value & opt int 20 & info [ "parallelism"; "p" ] ~doc)
+
+let cores_arg =
+  let doc = "Number of cores (default: smallest machine that fits)." in
+  Arg.(value & opt (some int) None & info [ "cores" ] ~doc)
+
+let allocator_arg =
+  let doc = "Local-memory allocator: naive, add-reuse or ag-reuse." in
+  let alloc_conv =
+    Arg.conv
+      ( (fun s ->
+          match Pimcomp.Memalloc.strategy_of_string s with
+          | a -> Ok a
+          | exception Invalid_argument msg -> Error (`Msg msg)),
+        fun ppf a -> Fmt.string ppf (Pimcomp.Memalloc.strategy_name a) )
+  in
+  Arg.(value & opt alloc_conv Pimcomp.Memalloc.Ag_reuse & info [ "allocator" ] ~doc)
+
+let strategy_arg =
+  let doc = "Mapping strategy: ga, puma or random." in
+  Arg.(value & opt string "ga" & info [ "strategy" ] ~doc)
+
+let seed_arg =
+  let doc = "Random seed for the genetic algorithm." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc)
+
+let generations_arg =
+  let doc = "GA iterations (population is 100, as in the paper)." in
+  Arg.(value & opt int 200 & info [ "generations" ] ~doc)
+
+let fast_arg =
+  let doc = "Use the reduced GA setting (population 24) for quick runs." in
+  Arg.(value & flag & info [ "fast" ] ~doc)
+
+let verbose_arg =
+  let doc = "Print replication decisions and the mapping." in
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc)
+
+let simplify_arg =
+  let doc = "Run graph canonicalisation (identity/flatten removal) first." in
+  Arg.(value & flag & info [ "simplify" ] ~doc)
+
+let objective_arg =
+  let doc = "GA objective: time or edp (energy-delay product)." in
+  Arg.(value & opt string "time" & info [ "objective" ] ~doc)
+
+let emit_isa_arg =
+  let doc = "Write the compiled instruction stream (ISA dump) to a file." in
+  Arg.(value & opt (some string) None & info [ "emit-isa" ] ~doc)
+
+let emit_trace_arg =
+  let doc =
+    "Write the simulation event trace (CSV, or a Gantt SVG when the file \
+     name ends in .svg; implies simulation)."
+  in
+  Arg.(value & opt (some string) None & info [ "emit-trace" ] ~doc)
+
+(* --- helpers --------------------------------------------------------------- *)
+
+let load_network name input_size =
+  if Sys.file_exists name && Filename.check_suffix name ".nnt" then
+    Nnir.Text_format.of_file name
+  else if List.mem name Nnir.Zoo.names then
+    let size =
+      match input_size with
+      | Some s -> s
+      | None -> Nnir.Zoo.scaled_input_size ~factor:4 name
+    in
+    Nnir.Zoo.build ~input_size:size name
+  else
+    raise
+      (Invalid_argument
+         (Fmt.str "unknown network %S (zoo: %s, or a .nnt file)" name
+            (String.concat ", " Nnir.Zoo.names)))
+
+let strategy_of_flags name fast generations seed =
+  ignore seed;
+  let params =
+    if fast then Pimcomp.Genetic.fast_params
+    else { Pimcomp.Genetic.default_params with iterations = generations }
+  in
+  match name with
+  | "ga" -> Pimcomp.Compile.Genetic_algorithm params
+  | "puma" -> Pimcomp.Compile.Puma_like
+  | "random" -> Pimcomp.Compile.Random_search params
+  | s -> raise (Invalid_argument (Fmt.str "unknown strategy %S" s))
+
+let objective_of_string = function
+  | "time" -> Pimcomp.Fitness.Minimize_time
+  | "edp" | "energy-delay" -> Pimcomp.Fitness.Minimize_energy_delay
+  | s -> raise (Invalid_argument (Fmt.str "unknown objective %S" s))
+
+let build_options ~mode ~parallelism ~cores ~allocator ~strategy ~seed
+    ~objective =
+  {
+    Pimcomp.Compile.default_options with
+    mode;
+    parallelism;
+    core_count = cores;
+    allocator;
+    seed;
+    strategy;
+    objective;
+  }
+
+let wrap f = try Ok (f ()) with
+  | Invalid_argument msg | Failure msg -> Error (`Msg msg)
+  | Pimcomp.Chromosome.Infeasible msg -> Error (`Msg ("infeasible: " ^ msg))
+  | Nnir.Graph.Invalid_graph msg -> Error (`Msg ("invalid graph: " ^ msg))
+
+(* --- commands -------------------------------------------------------------- *)
+
+let networks_cmd =
+  let run () =
+    Fmt.pr "%-14s %-12s %-10s %s@." "name" "default px" "min px" "notes";
+    List.iter
+      (fun name ->
+        Fmt.pr "%-14s %-12d %-10d %s@." name
+          (Nnir.Zoo.default_input_size name)
+          (Nnir.Zoo.min_input_size name)
+          (if List.mem name Nnir.Zoo.paper_benchmarks then
+             "paper benchmark"
+           else ""))
+      Nnir.Zoo.names;
+    Ok ()
+  in
+  Cmd.v
+    (Cmd.info "networks" ~doc:"List the model zoo.")
+    Term.(term_result (const run $ const ()))
+
+let table1_cmd =
+  let run () =
+    Fmt.pr "%a@." Pimhw.Config.pp_table Pimhw.Config.puma_like;
+    Ok ()
+  in
+  Cmd.v
+    (Cmd.info "table1"
+       ~doc:"Print the hardware configuration (the paper's Table I).")
+    Term.(term_result (const run $ const ()))
+
+let compile_term simulate =
+  let run network input_size mode parallelism cores allocator strategy seed
+      generations fast verbose simplify objective emit_isa emit_trace =
+    wrap (fun () ->
+        let graph = load_network network input_size in
+        let graph =
+          if simplify then begin
+            let r = Nnir.Simplify.run graph in
+            if r.Nnir.Simplify.removed > 0 then
+              Fmt.pr "simplified away %d nodes@." r.Nnir.Simplify.removed;
+            r.Nnir.Simplify.graph
+          end
+          else graph
+        in
+        Fmt.pr "%a@.@." Nnir.Stats.pp_summary (Nnir.Stats.of_graph graph);
+        let options =
+          build_options ~mode ~parallelism ~cores ~allocator
+            ~strategy:(strategy_of_flags strategy fast generations seed)
+            ~seed
+            ~objective:(objective_of_string objective)
+        in
+        let hw = Pimhw.Config.puma_like in
+        let result = Pimcomp.Compile.compile ~options hw graph in
+        Fmt.pr "%a@." Pimcomp.Report.pp_summary result;
+        if verbose then begin
+          Fmt.pr "@.replication:@.%a@." Pimcomp.Report.pp_replication result;
+          Fmt.pr "@.mapping:@.%a@." Pimcomp.Chromosome.pp
+            result.Pimcomp.Compile.chromosome
+        end;
+        (match emit_isa with
+        | Some path ->
+            Pimcomp.Isa_text.to_file path result.Pimcomp.Compile.program;
+            Fmt.pr "wrote instruction stream to %s@." path
+        | None -> ());
+        (match emit_trace with
+        | Some path ->
+            let metrics, trace =
+              Pimsim.Trace.run ~parallelism hw result.Pimcomp.Compile.program
+            in
+            let payload =
+              if Filename.check_suffix path ".svg" then
+                Pimsim.Trace.to_svg trace
+              else Pimsim.Trace.to_csv trace
+            in
+            Out_channel.with_open_text path (fun oc ->
+                Out_channel.output_string oc payload);
+            Fmt.pr "wrote %d trace events to %s@.@.%a@."
+              (Pimsim.Trace.length trace) path Pimsim.Metrics.pp metrics
+        | None ->
+            if simulate then
+              let metrics =
+                Pimsim.Engine.run ~parallelism hw
+                  result.Pimcomp.Compile.program
+              in
+              Fmt.pr "@.%a@." Pimsim.Metrics.pp metrics))
+  in
+  Term.(
+    term_result
+      (const run $ network_arg $ input_size_arg $ mode_arg $ parallelism_arg
+     $ cores_arg $ allocator_arg $ strategy_arg $ seed_arg $ generations_arg
+     $ fast_arg $ verbose_arg $ simplify_arg $ objective_arg $ emit_isa_arg
+     $ emit_trace_arg))
+
+let compile_cmd =
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:"Compile a network and print the compilation report.")
+    (compile_term false)
+
+let simulate_cmd =
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Compile a network and run the cycle-accurate simulator.")
+    (compile_term true)
+
+let export_cmd =
+  let format_arg =
+    let doc = "Output format: nnt (textual model) or dot (Graphviz)." in
+    Arg.(value & opt string "nnt" & info [ "format"; "f" ] ~doc)
+  in
+  let output_arg =
+    let doc = "Output file (default: stdout)." in
+    Arg.(value & opt (some string) None & info [ "output"; "o" ] ~doc)
+  in
+  let run network input_size format output =
+    wrap (fun () ->
+        let graph = load_network network input_size in
+        let text =
+          match format with
+          | "nnt" -> Nnir.Text_format.to_string graph
+          | "dot" -> Nnir.Graph.to_dot graph
+          | f -> raise (Invalid_argument (Fmt.str "unknown format %S" f))
+        in
+        match output with
+        | None -> print_string text
+        | Some path ->
+            Out_channel.with_open_text path (fun oc ->
+                Out_channel.output_string oc text);
+            Fmt.pr "wrote %s@." path)
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Export a network as .nnt or Graphviz .dot.")
+    Term.(
+      term_result
+        (const run $ network_arg $ input_size_arg $ format_arg $ output_arg))
+
+let main_cmd =
+  let doc = "PIMCOMP: compilation framework for crossbar-based PIM DNN accelerators" in
+  Cmd.group
+    (Cmd.info "pimcomp" ~version:"1.0.0" ~doc)
+    [ networks_cmd; table1_cmd; compile_cmd; simulate_cmd; export_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/design_space.ml: Fmt List Nnir Pimcomp Pimhw Pimsim

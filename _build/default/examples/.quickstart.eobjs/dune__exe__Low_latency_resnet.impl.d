@@ -1,0 +1,1 @@
+examples/low_latency_resnet.ml: Array Fmt Nnir Pimcomp Pimhw Pimsim Sys

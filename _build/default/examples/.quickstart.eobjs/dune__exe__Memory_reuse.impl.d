@@ -1,0 +1,1 @@
+examples/memory_reuse.ml: Array Fmt List Nnir Pimcomp Pimhw Pimsim

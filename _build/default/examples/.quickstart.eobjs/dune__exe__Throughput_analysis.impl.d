@@ -1,0 +1,1 @@
+examples/throughput_analysis.ml: Array Fmt List Nnir Out_channel Pimcomp Pimhw Pimsim Sys

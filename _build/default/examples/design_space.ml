@@ -1,0 +1,70 @@
+(* Design-space exploration: sweep the crossbar geometry and the core
+   count, compiling squeezenet for each point, and compare the genetic
+   optimiser against the PUMA-like heuristic.
+
+     dune exec examples/design_space.exe
+
+   Shows how the abstract hardware description (Section III) lets the
+   same compiler retarget different accelerator instances, and where the
+   GA's advantage over the heuristic grows (small machines, low
+   parallelism — the paper's Fig. 8 observation). *)
+
+let () =
+  let graph = Nnir.Zoo.squeezenet ~input_size:48 () in
+  let base = Pimhw.Config.puma_like in
+  Fmt.pr "workload: %a@.@." Nnir.Stats.pp_summary (Nnir.Stats.of_graph graph);
+  Fmt.pr
+    "%-22s %-6s | %-10s %-10s | %-9s %-8s@."
+    "configuration" "P" "GA (us)" "PUMA (us)" "speedup" "xbars";
+  let evaluate ~label ~hw ~parallelism =
+    let run strategy =
+      let options =
+        {
+          Pimcomp.Compile.default_options with
+          mode = Pimcomp.Mode.High_throughput;
+          parallelism;
+          strategy;
+        }
+      in
+      let result = Pimcomp.Compile.compile ~options hw graph in
+      let metrics =
+        Pimsim.Engine.run ~parallelism hw result.Pimcomp.Compile.program
+      in
+      (result, metrics.Pimsim.Metrics.makespan_ns)
+    in
+    match
+      ( run (Pimcomp.Compile.Genetic_algorithm Pimcomp.Genetic.fast_params),
+        run Pimcomp.Compile.Puma_like )
+    with
+    | (r_ga, t_ga), (_, t_puma) ->
+        Fmt.pr "%-22s %-6d | %10.1f %10.1f | %8.2fx %8d@." label parallelism
+          (t_ga /. 1e3) (t_puma /. 1e3) (t_puma /. t_ga)
+          (r_ga.Pimcomp.Compile.core_count
+          * hw.Pimhw.Config.xbars_per_core)
+    | exception Pimcomp.Chromosome.Infeasible reason ->
+        Fmt.pr "%-22s %-6d | does not fit (%s)@." label parallelism reason
+  in
+  (* crossbar geometry sweep *)
+  List.iter
+    (fun (rows, cols) ->
+      evaluate
+        ~label:(Fmt.str "xbar %dx%d" rows cols)
+        ~hw:{ base with xbar_rows = rows; xbar_cols = cols }
+        ~parallelism:8)
+    [ (64, 64); (128, 128); (256, 256) ];
+  (* parallelism sweep at the default geometry *)
+  List.iter
+    (fun parallelism -> evaluate ~label:"xbar 128x128" ~hw:base ~parallelism)
+    [ 4; 16; 32 ];
+  (* crossbars per core *)
+  List.iter
+    (fun xbars_per_core ->
+      evaluate
+        ~label:(Fmt.str "%d xbars/core" xbars_per_core)
+        ~hw:{ base with xbars_per_core }
+        ~parallelism:8)
+    [ 32; 128 ];
+  Fmt.pr
+    "@.The GA advantage is largest where per-core issue bandwidth binds@.\
+     (low parallelism degree) and fades as the hardware gets roomier —@.\
+     the trend of the paper's Fig. 8.@."

@@ -1,0 +1,67 @@
+(* On-chip memory reuse (Section IV-D3, Fig. 7): compile googlenet under
+   the three allocation disciplines and contrast peak local-memory
+   demand and global-memory traffic in both modes.
+
+     dune exec examples/memory_reuse.exe
+
+   Reproduces the qualitative content of the paper's Fig. 10 on one
+   network: AG-reuse keeps the LL working set inside the 64 kB
+   scratchpad and cuts HT global-memory accesses versus the naive
+   discipline. *)
+
+let () =
+  let graph = Nnir.Zoo.googlenet ~input_size:48 () in
+  let hw = Pimhw.Config.puma_like in
+  Fmt.pr "workload: %a@." Nnir.Stats.pp_summary (Nnir.Stats.of_graph graph);
+  Fmt.pr "scratchpad capacity: %d kB@.@."
+    (hw.Pimhw.Config.local_memory_bytes / 1024);
+  let strategies =
+    [ Pimcomp.Memalloc.Naive; Pimcomp.Memalloc.Add_reuse;
+      Pimcomp.Memalloc.Ag_reuse ]
+  in
+  List.iter
+    (fun mode ->
+      Fmt.pr "--- %a mode ---@." Pimcomp.Mode.pp mode;
+      Fmt.pr "%-10s | %-12s %-12s | %-12s %-10s@." "allocator" "peak max kB"
+        "peak avg kB" "global kB" "sim us";
+      List.iter
+        (fun allocator ->
+          let options =
+            {
+              Pimcomp.Compile.default_options with
+              mode;
+              parallelism = 16;
+              allocator;
+              strategy = Pimcomp.Compile.Puma_like;
+            }
+          in
+          let result = Pimcomp.Compile.compile ~options hw graph in
+          let memory = result.Pimcomp.Compile.program.Pimcomp.Isa.memory in
+          let metrics =
+            Pimsim.Engine.run ~parallelism:16 hw
+              result.Pimcomp.Compile.program
+          in
+          let peaks = memory.Pimcomp.Isa.local_peak_bytes in
+          let active = Array.to_list peaks |> List.filter (fun p -> p > 0) in
+          let avg =
+            float_of_int (List.fold_left ( + ) 0 active)
+            /. float_of_int (max 1 (List.length active))
+          in
+          Fmt.pr "%-10s | %12.1f %12.1f | %12.1f %10.1f@."
+            (Pimcomp.Memalloc.strategy_name allocator)
+            (float_of_int (Array.fold_left max 0 peaks) /. 1024.)
+            (avg /. 1024.)
+            (float_of_int
+               (memory.Pimcomp.Isa.global_load_bytes
+               + memory.Pimcomp.Isa.global_store_bytes
+               + memory.Pimcomp.Isa.spill_bytes)
+            /. 1024.)
+            (metrics.Pimsim.Metrics.makespan_ns /. 1e3))
+        strategies;
+      Fmt.pr "@.")
+    Pimcomp.Mode.all;
+  Fmt.pr
+    "AG-reuse (Fig. 7c) recycles each Array Group's staging slots and@.\
+     accumulates partial sums in place, so the working set stays within@.\
+     the scratchpad and HT mode avoids the naive discipline's spill@.\
+     round-trips to global memory.@."

@@ -1,0 +1,51 @@
+(* Quickstart: compile a small CNN for the PUMA-like accelerator in
+   High-Throughput mode and simulate the result.
+
+     dune exec examples/quickstart.exe
+
+   Walks through the whole public API: build (or load) a network,
+   inspect its workload, compile with the genetic optimiser, check the
+   mapping, and measure performance/energy on the cycle-accurate
+   simulator. *)
+
+let () =
+  (* 1. Describe the network.  The zoo has the paper's five benchmarks;
+     here we assemble a small CNN by hand to show the builder API. *)
+  let b = Nnir.Builder.create "quickstart-cnn" in
+  let x = Nnir.Builder.input b ~channels:3 ~size:32 in
+  let x = Nnir.Builder.conv_relu b x ~out_channels:16 ~kernel:3 ~pad:1 in
+  let x = Nnir.Builder.max_pool b x ~kernel:2 ~stride:2 in
+  let x = Nnir.Builder.conv_relu b x ~out_channels:32 ~kernel:3 ~pad:1 in
+  let x = Nnir.Builder.max_pool b x ~kernel:2 ~stride:2 in
+  let x = Nnir.Builder.flatten b x in
+  let x = Nnir.Builder.fc b x ~out_features:10 in
+  let _ = Nnir.Builder.softmax b x in
+  let graph = Nnir.Builder.finish b in
+  Fmt.pr "network: %a@.@." Nnir.Stats.pp_summary (Nnir.Stats.of_graph graph);
+
+  (* 2. Pick the hardware — Table I of the paper. *)
+  let hw = Pimhw.Config.puma_like in
+  Fmt.pr "hardware:@.%a@.@." Pimhw.Config.pp_table hw;
+
+  (* 3. Compile: node partitioning -> GA replication + mapping ->
+     HT dataflow scheduling with AG-reuse memory optimisation. *)
+  let options =
+    {
+      Pimcomp.Compile.default_options with
+      mode = Pimcomp.Mode.High_throughput;
+      parallelism = 16;
+      core_count = Some 8;
+      strategy = Pimcomp.Compile.Genetic_algorithm Pimcomp.Genetic.fast_params;
+    }
+  in
+  let result = Pimcomp.Compile.compile ~options hw graph in
+  Fmt.pr "%a@.@." Pimcomp.Report.pp_summary result;
+  Fmt.pr "replication decisions:@.%a@." Pimcomp.Report.pp_replication result;
+
+  (* 4. Simulate. *)
+  let metrics =
+    Pimsim.Engine.run ~parallelism:16 hw result.Pimcomp.Compile.program
+  in
+  Fmt.pr "@.%a@." Pimsim.Metrics.pp metrics;
+  Fmt.pr "@.steady-state throughput: %.0f inferences/s@."
+    metrics.Pimsim.Metrics.throughput_ips

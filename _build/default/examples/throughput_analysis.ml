@@ -1,0 +1,60 @@
+(* Throughput analysis: compile squeezenet in HT mode, then (1) verify
+   the single-stream throughput reading against a true multi-inference
+   steady state with Pimsim.Batch, and (2) profile where each core's
+   time goes with Pimsim.Trace, writing a Gantt SVG for inspection.
+
+     dune exec examples/throughput_analysis.exe [-- svg-path] *)
+
+let () =
+  let svg_path = if Array.length Sys.argv > 1 then Sys.argv.(1) else "" in
+  let hw = Pimhw.Config.puma_like in
+  let parallelism = 16 in
+  let graph = Nnir.Zoo.squeezenet ~input_size:48 () in
+  let options =
+    {
+      Pimcomp.Compile.default_options with
+      mode = Pimcomp.Mode.High_throughput;
+      parallelism;
+      strategy = Pimcomp.Compile.Genetic_algorithm Pimcomp.Genetic.fast_params;
+    }
+  in
+  let result = Pimcomp.Compile.compile ~options hw graph in
+  let program = result.Pimcomp.Compile.program in
+  Fmt.pr "%a@.@." Pimcomp.Report.pp_summary result;
+
+  (* 1. steady-state vs single-stream throughput *)
+  Fmt.pr "--- steady state ---@.";
+  List.iter
+    (fun batches ->
+      let b = Pimsim.Batch.run ~parallelism hw program ~batches in
+      Fmt.pr "%a@." Pimsim.Batch.pp b)
+    [ 1; 2; 4; 8 ];
+
+  (* 2. per-core profile from the event trace *)
+  let metrics, trace = Pimsim.Trace.run ~parallelism hw program in
+  Fmt.pr
+    "@.--- busiest cores: device-time by class (us; concurrent AGs can \
+     exceed wall time) ---@.";
+  Fmt.pr "%-6s %8s %8s %8s %8s@." "core" "MVM" "VEC" "MEM" "COMM";
+  let profile =
+    Pimsim.Trace.profile trace
+    |> List.sort (fun a b ->
+           compare b.Pimsim.Trace.mvm_ns a.Pimsim.Trace.mvm_ns)
+  in
+  List.iteri
+    (fun i p ->
+      if i < 8 then
+        Fmt.pr "%-6d %8.1f %8.1f %8.1f %8.1f@." p.Pimsim.Trace.profile_core
+          (p.Pimsim.Trace.mvm_ns /. 1e3)
+          (p.Pimsim.Trace.vec_ns /. 1e3)
+          (p.Pimsim.Trace.mem_ns /. 1e3)
+          (p.Pimsim.Trace.comm_ns /. 1e3))
+    profile;
+  Fmt.pr "@.makespan %.1f us, %d events@."
+    (metrics.Pimsim.Metrics.makespan_ns /. 1e3)
+    (Pimsim.Trace.length trace);
+  if svg_path <> "" then begin
+    Out_channel.with_open_text svg_path (fun oc ->
+        Out_channel.output_string oc (Pimsim.Trace.to_svg trace));
+    Fmt.pr "wrote Gantt chart to %s@." svg_path
+  end

@@ -1,0 +1,1 @@
+lib/core/chromosome.ml: Array Fmt List Nnir Partition Pimhw Rng

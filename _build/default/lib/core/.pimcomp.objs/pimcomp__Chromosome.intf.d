@@ -1,0 +1,1 @@
+lib/core/chromosome.mli: Fmt Nnir Partition Rng

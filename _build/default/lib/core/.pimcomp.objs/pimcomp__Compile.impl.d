@@ -1,0 +1,1 @@
+lib/core/compile.ml: Chromosome Fitness Fmt Genetic Isa Layout Memalloc Mode Nnir Partition Pimhw Puma_baseline Rng Schedule_ht Schedule_ll Sys

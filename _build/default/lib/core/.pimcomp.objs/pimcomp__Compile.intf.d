@@ -1,0 +1,1 @@
+lib/core/compile.mli: Chromosome Fitness Genetic Isa Layout Memalloc Mode Nnir Partition Pimhw

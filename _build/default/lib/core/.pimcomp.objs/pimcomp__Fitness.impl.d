@@ -1,0 +1,1 @@
+lib/core/fitness.ml: Array Chromosome Float List Mode Nnir Partition Pimhw Receptive Sched_common

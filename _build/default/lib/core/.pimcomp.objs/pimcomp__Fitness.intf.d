@@ -1,0 +1,1 @@
+lib/core/fitness.mli: Chromosome Mode Nnir Partition Pimhw

@@ -1,0 +1,1 @@
+lib/core/genetic.ml: Array Chromosome Fitness List Rng

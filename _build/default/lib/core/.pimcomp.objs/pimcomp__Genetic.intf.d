@@ -1,0 +1,1 @@
+lib/core/genetic.mli: Chromosome Fitness Mode Partition Pimhw Rng

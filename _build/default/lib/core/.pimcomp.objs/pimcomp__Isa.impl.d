@@ -1,0 +1,1 @@
+lib/core/isa.ml: Array Fmt Hashtbl List Memalloc Mode Nnir

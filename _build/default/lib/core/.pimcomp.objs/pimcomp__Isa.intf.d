@@ -1,0 +1,1 @@
+lib/core/isa.mli: Fmt Memalloc Mode Nnir

@@ -1,0 +1,1 @@
+lib/core/isa_text.ml: Array Buffer Fmt Hashtbl In_channel Isa List Memalloc Mode Nnir Out_channel String

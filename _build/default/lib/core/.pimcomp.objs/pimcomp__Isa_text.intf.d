@@ -1,0 +1,1 @@
+lib/core/isa_text.mli: Isa

@@ -1,0 +1,1 @@
+lib/core/layout.ml: Array Chromosome Fmt Hashtbl List Nnir Partition

@@ -1,0 +1,1 @@
+lib/core/memalloc.ml: Array Fmt Hashtbl

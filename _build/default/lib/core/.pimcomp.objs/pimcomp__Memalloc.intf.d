@@ -1,0 +1,1 @@
+lib/core/memalloc.mli:

@@ -1,0 +1,1 @@
+lib/core/prog_builder.ml: Array Fmt Isa List Memalloc

@@ -1,0 +1,1 @@
+lib/core/prog_builder.mli: Isa Memalloc Mode Nnir

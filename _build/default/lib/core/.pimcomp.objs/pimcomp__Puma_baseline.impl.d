@@ -1,0 +1,1 @@
+lib/core/puma_baseline.ml: Array Chromosome Float Fmt List Partition Pimhw

@@ -1,0 +1,1 @@
+lib/core/receptive.mli: Nnir

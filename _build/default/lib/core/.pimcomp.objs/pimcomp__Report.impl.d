@@ -1,0 +1,1 @@
+lib/core/report.ml: Array Chromosome Compile Fmt Isa Mode Nnir Partition

@@ -1,0 +1,1 @@
+lib/core/sched_common.ml: Array Hashtbl List Nnir Partition

@@ -1,0 +1,1 @@
+lib/core/sched_common.mli: Hashtbl Nnir Partition

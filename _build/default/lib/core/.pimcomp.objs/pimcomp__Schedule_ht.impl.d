@@ -1,0 +1,1 @@
+lib/core/schedule_ht.ml: Array Hashtbl Isa Layout List Memalloc Mode Nnir Partition Pimhw Prog_builder Sched_common

@@ -1,0 +1,1 @@
+lib/core/schedule_ht.mli: Isa Layout Memalloc

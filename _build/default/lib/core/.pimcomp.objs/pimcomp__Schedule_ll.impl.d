@@ -1,0 +1,1 @@
+lib/core/schedule_ll.ml: Array Fmt Hashtbl Isa Layout List Memalloc Mode Nnir Partition Prog_builder Receptive Sched_common

@@ -1,0 +1,1 @@
+lib/core/schedule_ll.mli: Isa Layout Memalloc

@@ -1,0 +1,498 @@
+(* GA encoding for weight replicating + core mapping (paper Section IV-C1).
+
+   A gene is "several AGs of a node" carried by one core, encoded as the
+   integer [node_index * 10000 + ag_count] (the paper's encoding; e.g.
+   1030025 = 25 AGs of node 103).  A chromosome holds up to
+   [max_node_num_in_core] genes per core for [core_count] cores.
+
+   Invariants (checked by [validate]):
+   - every weighted node appears with a total AG count that is a positive
+     multiple of its [ags_per_replica] (whole replicas exist globally,
+     though a replica's AGs may be split across cores);
+   - per-core crossbar capacity is respected;
+   - per-core gene count is at most [max_node_num_in_core]. *)
+
+type gene = { node_index : int; ag_count : int }
+
+let encode g =
+  if g.ag_count < 0 || g.ag_count >= 10000 then
+    invalid_arg "Chromosome.encode: ag_count outside [0, 10000)";
+  if g.node_index < 0 then invalid_arg "Chromosome.encode: negative node_index";
+  (g.node_index * 10000) + g.ag_count
+
+let decode code =
+  if code < 0 then invalid_arg "Chromosome.decode: negative code";
+  { node_index = code / 10000; ag_count = code mod 10000 }
+
+type t = {
+  table : Partition.table;
+  core_count : int;
+  max_node_num_in_core : int;
+  (* cores.(c) is the gene list of core c, kept sorted by node_index with
+     at most one gene per node per core and strictly positive counts. *)
+  mutable cores : gene list array;
+}
+
+let copy t = { t with cores = Array.map (fun l -> l) t.cores }
+
+let core_count t = t.core_count
+let table t = t.table
+let genes t core = t.cores.(core)
+
+let encoded t core = List.map encode t.cores.(core)
+
+(* --- derived quantities ------------------------------------------------- *)
+
+let core_xbars t core =
+  List.fold_left
+    (fun acc g ->
+      acc + (g.ag_count * (Partition.entry t.table g.node_index).xbars_per_ag))
+    0 t.cores.(core)
+
+let total_ags t node_index =
+  Array.fold_left
+    (fun acc gene_list ->
+      List.fold_left
+        (fun acc g -> if g.node_index = node_index then acc + g.ag_count else acc)
+        acc gene_list)
+    0 t.cores
+
+let replication t node_index =
+  let info = Partition.entry t.table node_index in
+  total_ags t node_index / info.Partition.ags_per_replica
+
+(* Cores holding at least one AG of a weighted node, ascending. *)
+let cores_of_node t node_index =
+  let acc = ref [] in
+  for core = t.core_count - 1 downto 0 do
+    if List.exists (fun g -> g.node_index = node_index) t.cores.(core) then
+      acc := core :: !acc
+  done;
+  !acc
+
+let replication_by_node_id t node_id =
+  match Partition.index_of_node t.table node_id with
+  | -1 -> 1
+  | i -> replication t i
+
+(* --- validation --------------------------------------------------------- *)
+
+type violation =
+  | Core_over_capacity of { core : int; used : int; capacity : int }
+  | Too_many_nodes_in_core of { core : int; count : int; limit : int }
+  | Missing_node of { node_index : int }
+  | Partial_replica of { node_index : int; total_ags : int; per_replica : int }
+  | Non_positive_gene of { core : int; node_index : int; ag_count : int }
+
+let pp_violation ppf = function
+  | Core_over_capacity { core; used; capacity } ->
+      Fmt.pf ppf "core %d uses %d crossbars (capacity %d)" core used capacity
+  | Too_many_nodes_in_core { core; count; limit } ->
+      Fmt.pf ppf "core %d holds %d nodes (limit %d)" core count limit
+  | Missing_node { node_index } ->
+      Fmt.pf ppf "weighted node %d has no AGs mapped" node_index
+  | Partial_replica { node_index; total_ags; per_replica } ->
+      Fmt.pf ppf "node %d has %d AGs, not a multiple of %d" node_index
+        total_ags per_replica
+  | Non_positive_gene { core; node_index; ag_count } ->
+      Fmt.pf ppf "core %d gene for node %d has count %d" core node_index
+        ag_count
+
+let violations t =
+  let config = Partition.table_config t.table in
+  let acc = ref [] in
+  Array.iteri
+    (fun core gene_list ->
+      let used = core_xbars t core in
+      if used > config.Pimhw.Config.xbars_per_core then
+        acc :=
+          Core_over_capacity
+            { core; used; capacity = config.Pimhw.Config.xbars_per_core }
+          :: !acc;
+      let count = List.length gene_list in
+      if count > t.max_node_num_in_core then
+        acc :=
+          Too_many_nodes_in_core { core; count; limit = t.max_node_num_in_core }
+          :: !acc;
+      List.iter
+        (fun g ->
+          if g.ag_count <= 0 then
+            acc :=
+              Non_positive_gene
+                { core; node_index = g.node_index; ag_count = g.ag_count }
+              :: !acc)
+        gene_list)
+    t.cores;
+  Array.iteri
+    (fun node_index info ->
+      let total = total_ags t node_index in
+      if total = 0 then acc := Missing_node { node_index } :: !acc
+      else if total mod info.Partition.ags_per_replica <> 0 then
+        acc :=
+          Partial_replica
+            {
+              node_index;
+              total_ags = total;
+              per_replica = info.Partition.ags_per_replica;
+            }
+          :: !acc)
+    (Partition.entries t.table);
+  List.rev !acc
+
+let is_valid t = violations t = []
+
+(* --- gene-list surgery --------------------------------------------------- *)
+
+let find_gene gene_list node_index =
+  List.find_opt (fun g -> g.node_index = node_index) gene_list
+
+let set_gene gene_list node_index ag_count =
+  let rest = List.filter (fun g -> g.node_index <> node_index) gene_list in
+  if ag_count = 0 then rest
+  else
+    List.merge
+      (fun a b -> compare a.node_index b.node_index)
+      [ { node_index; ag_count } ]
+      rest
+
+let add_ags t ~core ~node_index ~count =
+  let current =
+    match find_gene t.cores.(core) node_index with
+    | Some g -> g.ag_count
+    | None -> 0
+  in
+  t.cores.(core) <- set_gene t.cores.(core) node_index (current + count)
+
+let remove_ags t ~core ~node_index ~count =
+  match find_gene t.cores.(core) node_index with
+  | Some g when g.ag_count >= count ->
+      t.cores.(core) <- set_gene t.cores.(core) node_index (g.ag_count - count);
+      true
+  | _ -> false
+
+(* Crossbars still free on a core. *)
+let free_xbars t core =
+  (Partition.table_config t.table).Pimhw.Config.xbars_per_core
+  - core_xbars t core
+
+(* Can [core] accept [count] more AGs of [node_index]?  Slot-count only
+   matters if the core doesn't already hold the node. *)
+let can_accept t ~core ~node_index ~count =
+  let info = Partition.entry t.table node_index in
+  let needs_slot = find_gene t.cores.(core) node_index = None in
+  free_xbars t core >= count * info.Partition.xbars_per_ag
+  && ((not needs_slot) || List.length t.cores.(core) < t.max_node_num_in_core)
+
+(* Scatter [count] AGs of a node over cores with space, visiting cores
+   in random order (the fitness function judges whether co-locating with
+   existing genes or opening fresh cores was the better move).  Returns
+   [false] (and rolls back) if they don't all fit. *)
+let scatter_ags rng t ~node_index ~count =
+  let info = Partition.entry t.table node_index in
+  let order = Array.init t.core_count (fun i -> i) in
+  Rng.shuffle rng order;
+  let placed = ref [] in
+  let remaining = ref count in
+  let try_core core =
+    if !remaining > 0 then begin
+      let cap = free_xbars t core / info.Partition.xbars_per_ag in
+      let cap =
+        if find_gene t.cores.(core) node_index <> None then cap
+        else if List.length t.cores.(core) < t.max_node_num_in_core then cap
+        else 0
+      in
+      let take = min cap !remaining in
+      if take > 0 then begin
+        add_ags t ~core ~node_index ~count:take;
+        placed := (core, take) :: !placed;
+        remaining := !remaining - take
+      end
+    end
+  in
+  Array.iter try_core order;
+  if !remaining = 0 then true
+  else begin
+    List.iter
+      (fun (core, take) ->
+        ignore (remove_ags t ~core ~node_index ~count:take))
+      !placed;
+    false
+  end
+
+(* --- construction ------------------------------------------------------- *)
+
+exception Infeasible of string
+
+let create_empty table ~core_count ~max_node_num_in_core =
+  if core_count <= 0 then invalid_arg "Chromosome: core_count <= 0";
+  if max_node_num_in_core <= 0 then
+    invalid_arg "Chromosome: max_node_num_in_core <= 0";
+  { table; core_count; max_node_num_in_core; cores = Array.make core_count [] }
+
+(* Random initial individual: one replica per node, AGs scattered.  The
+   paper also randomises the initial replication number; we optionally add
+   a few extra replicas where capacity allows. *)
+let random_initial rng table ~core_count ~max_node_num_in_core
+    ?(extra_replica_attempts = 0) () =
+  let t = create_empty table ~core_count ~max_node_num_in_core in
+  let entries = Partition.entries table in
+  let order = Array.init (Array.length entries) (fun i -> i) in
+  Rng.shuffle rng order;
+  Array.iter
+    (fun node_index ->
+      let info = entries.(node_index) in
+      if
+        not
+          (scatter_ags rng t ~node_index ~count:info.Partition.ags_per_replica)
+      then
+        raise
+          (Infeasible
+             (Fmt.str
+                "network does not fit: node %s needs %d AGs but capacity is \
+                 exhausted (%d cores x %d crossbars)"
+                info.Partition.name info.Partition.ags_per_replica core_count
+                (Partition.table_config table).Pimhw.Config.xbars_per_core)))
+    order;
+  for _ = 1 to extra_replica_attempts do
+    let node_index = Rng.int rng (Array.length entries) in
+    let info = entries.(node_index) in
+    ignore
+      (scatter_ags rng t ~node_index ~count:info.Partition.ags_per_replica)
+  done;
+  t
+
+(* Compact random individual: nodes in random order, AGs packed
+   sequentially into cores starting at a random offset.  Keeps replicas
+   whole (low inter-core accumulation) while still sampling diverse
+   mappings — the useful region of the search space the pure scatter
+   rarely hits. *)
+let compact_initial rng table ~core_count ~max_node_num_in_core
+    ?(extra_replica_attempts = 0) () =
+  let t = create_empty table ~core_count ~max_node_num_in_core in
+  let entries = Partition.entries table in
+  let order = Array.init (Array.length entries) (fun i -> i) in
+  Rng.shuffle rng order;
+  let core = ref (Rng.int rng core_count) in
+  let advance () = core := (!core + 1) mod core_count in
+  let place node_index count =
+    let info = entries.(node_index) in
+    let remaining = ref count in
+    let tried = ref 0 in
+    while !remaining > 0 do
+      if !tried > core_count then
+        raise
+          (Infeasible
+             (Fmt.str "network does not fit: node %s needs %d more AGs"
+                info.Partition.name !remaining));
+      let c = !core in
+      let slot_ok =
+        find_gene t.cores.(c) node_index <> None
+        || List.length t.cores.(c) < max_node_num_in_core
+      in
+      let cap =
+        if slot_ok then free_xbars t c / info.Partition.xbars_per_ag else 0
+      in
+      let take = min cap !remaining in
+      if take > 0 then begin
+        add_ags t ~core:c ~node_index ~count:take;
+        remaining := !remaining - take;
+        tried := 0
+      end
+      else begin
+        advance ();
+        incr tried
+      end
+    done
+  in
+  Array.iter
+    (fun node_index ->
+      place node_index entries.(node_index).Partition.ags_per_replica)
+    order;
+  for _ = 1 to extra_replica_attempts do
+    let node_index = Rng.int rng (Array.length entries) in
+    (try place node_index entries.(node_index).Partition.ags_per_replica
+     with Infeasible _ -> ())
+  done;
+  t
+
+(* --- mutations (paper Section IV-C1, operations I-IV) ------------------- *)
+
+type mutation = Add_replica | Remove_replica | Spread_gene | Merge_gene
+
+let all_mutations = [| Add_replica; Remove_replica; Spread_gene; Merge_gene |]
+
+let mutation_name = function
+  | Add_replica -> "I:add-replica"
+  | Remove_replica -> "II:remove-replica"
+  | Spread_gene -> "III:spread"
+  | Merge_gene -> "IV:merge"
+
+(* Mutation I: pick a node, add one replica, scatter its AGs. *)
+let mutate_add_replica rng t =
+  let n = Partition.num_weighted t.table in
+  let node_index = Rng.int rng n in
+  let info = Partition.entry t.table node_index in
+  scatter_ags rng t ~node_index ~count:info.Partition.ags_per_replica
+
+(* Mutation II: pick a node with R > 1, remove one replica, recovering
+   crossbars from random genes. *)
+let mutate_remove_replica rng t =
+  let n = Partition.num_weighted t.table in
+  let candidates =
+    List.filter (fun i -> replication t i > 1) (List.init n (fun i -> i))
+  in
+  match candidates with
+  | [] -> false
+  | _ ->
+      let node_index = Rng.pick_list rng candidates in
+      let info = Partition.entry t.table node_index in
+      let remaining = ref info.Partition.ags_per_replica in
+      let order = Array.init t.core_count (fun i -> i) in
+      Rng.shuffle rng order;
+      Array.iter
+        (fun core ->
+          if !remaining > 0 then
+            match find_gene t.cores.(core) node_index with
+            | Some g ->
+                let take = min g.ag_count !remaining in
+                ignore (remove_ags t ~core ~node_index ~count:take);
+                remaining := !remaining - take
+            | None -> ())
+        order;
+      assert (!remaining = 0);
+      true
+
+(* Mutation III: pick a gene with >= 2 AGs and spread part of it to
+   other cores. *)
+let mutate_spread rng t =
+  let candidates = ref [] in
+  Array.iteri
+    (fun core gene_list ->
+      List.iter
+        (fun g -> if g.ag_count >= 2 then candidates := (core, g) :: !candidates)
+        gene_list)
+    t.cores;
+  match !candidates with
+  | [] -> false
+  | cs ->
+      let core, g = Rng.pick_list rng cs in
+      let move = Rng.range rng 1 (g.ag_count - 1) in
+      ignore (remove_ags t ~core ~node_index:g.node_index ~count:move);
+      if scatter_ags rng t ~node_index:g.node_index ~count:move then true
+      else begin
+        add_ags t ~core ~node_index:g.node_index ~count:move;
+        false
+      end
+
+(* Mutation IV: pick a gene and merge all of it into the same node's gene
+   on another core. *)
+let mutate_merge rng t =
+  let candidates = ref [] in
+  Array.iteri
+    (fun core gene_list ->
+      List.iter (fun g -> candidates := (core, g) :: !candidates) gene_list)
+    t.cores;
+  match !candidates with
+  | [] -> false
+  | cs -> (
+      let src_core, g = Rng.pick_list rng cs in
+      let targets =
+        List.init t.core_count (fun c -> c)
+        |> List.filter (fun c ->
+               c <> src_core
+               && find_gene t.cores.(c) g.node_index <> None
+               && free_xbars t c
+                  >= g.ag_count
+                     * (Partition.entry t.table g.node_index)
+                         .Partition.xbars_per_ag)
+      in
+      match targets with
+      | [] -> false
+      | ts ->
+          let dst = Rng.pick_list rng ts in
+          ignore (remove_ags t ~core:src_core ~node_index:g.node_index
+                    ~count:g.ag_count);
+          add_ags t ~core:dst ~node_index:g.node_index ~count:g.ag_count;
+          true)
+
+let mutate rng t kind =
+  match kind with
+  | Add_replica -> mutate_add_replica rng t
+  | Remove_replica -> mutate_remove_replica rng t
+  | Spread_gene -> mutate_spread rng t
+  | Merge_gene -> mutate_merge rng t
+
+let mutate_random rng t = mutate rng t (Rng.pick rng all_mutations)
+
+(* --- concrete AG placement ---------------------------------------------- *)
+
+(* A placed Array Group: replica [replica] of node [node_index], AG index
+   [ag_in_replica] within the replica, living on [core].  [global_ag] is
+   unique across the whole program and is the simulator's structural-
+   conflict unit. *)
+type placement = {
+  p_node_index : int;
+  p_node_id : Nnir.Node.id;
+  p_replica : int;
+  p_ag_in_replica : int;
+  p_global_ag : int;
+  p_core : int;
+}
+
+(* Deterministic placement: for each node, visit cores by descending gene
+   size (so large genes receive whole replicas and splitting is rare),
+   assigning (replica, ag) slots lexicographically. *)
+let placements t =
+  let acc = ref [] in
+  let next_global = ref 0 in
+  Array.iteri
+    (fun node_index info ->
+      let holders = ref [] in
+      Array.iteri
+        (fun core gene_list ->
+          match find_gene gene_list node_index with
+          | Some g -> holders := (core, g.ag_count) :: !holders
+          | None -> ())
+        t.cores;
+      let holders =
+        List.sort
+          (fun (c1, n1) (c2, n2) ->
+            if n1 <> n2 then compare n2 n1 else compare c1 c2)
+          !holders
+      in
+      let slot = ref 0 in
+      List.iter
+        (fun (core, count) ->
+          for _ = 1 to count do
+            let replica = !slot / info.Partition.ags_per_replica in
+            let ag_in_replica = !slot mod info.Partition.ags_per_replica in
+            acc :=
+              {
+                p_node_index = node_index;
+                p_node_id = info.Partition.node_id;
+                p_replica = replica;
+                p_ag_in_replica = ag_in_replica;
+                p_global_ag = !next_global;
+                p_core = core;
+              }
+              :: !acc;
+            incr next_global;
+            incr slot
+          done)
+        holders)
+    (Partition.entries t.table);
+  Array.of_list (List.rev !acc)
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>";
+  Array.iteri
+    (fun core gene_list ->
+      if gene_list <> [] then
+        Fmt.pf ppf "core %2d: %a (%d/%d xbars)@," core
+          Fmt.(
+            list ~sep:sp (fun ppf g ->
+                Fmt.pf ppf "%d" (encode g)))
+          gene_list (core_xbars t core)
+          (Partition.table_config t.table).Pimhw.Config.xbars_per_core)
+    t.cores;
+  Fmt.pf ppf "@]"

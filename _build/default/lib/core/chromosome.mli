@@ -1,0 +1,105 @@
+(** GA encoding for weight replicating + core mapping (Section IV-C1).
+
+    Gene = AG bundle of one node on one core, encoded as
+    [node_index * 10000 + ag_count].  Chromosome = up to
+    [max_node_num_in_core] genes for each of [core_count] cores. *)
+
+type gene = { node_index : int; ag_count : int }
+
+val encode : gene -> int
+val decode : int -> gene
+
+type t
+
+exception Infeasible of string
+
+val create_empty : Partition.table -> core_count:int -> max_node_num_in_core:int -> t
+
+val random_initial :
+  Rng.t ->
+  Partition.table ->
+  core_count:int ->
+  max_node_num_in_core:int ->
+  ?extra_replica_attempts:int ->
+  unit ->
+  t
+(** One replica per node scattered at random (plus optional extra
+    replicas).  Raises {!Infeasible} when the network cannot fit. *)
+
+val compact_initial :
+  Rng.t ->
+  Partition.table ->
+  core_count:int ->
+  max_node_num_in_core:int ->
+  ?extra_replica_attempts:int ->
+  unit ->
+  t
+(** Nodes in random order, AGs packed sequentially from a random core —
+    a compact (replica-whole) random individual. *)
+
+val copy : t -> t
+val core_count : t -> int
+val table : t -> Partition.table
+val genes : t -> int -> gene list
+val encoded : t -> int -> int list
+
+val core_xbars : t -> int -> int
+val free_xbars : t -> int -> int
+val total_ags : t -> int -> int
+val replication : t -> int -> int
+(** Replication number of a weighted node (by dense weighted index). *)
+
+val cores_of_node : t -> int -> int list
+(** Cores holding at least one AG of a weighted node, ascending. *)
+
+val replication_by_node_id : t -> Nnir.Node.id -> int
+(** Same, by graph node id; 1 for non-weighted nodes. *)
+
+val can_accept : t -> core:int -> node_index:int -> count:int -> bool
+val add_ags : t -> core:int -> node_index:int -> count:int -> unit
+val remove_ags : t -> core:int -> node_index:int -> count:int -> bool
+val scatter_ags : Rng.t -> t -> node_index:int -> count:int -> bool
+
+(** {1 Validation} *)
+
+type violation =
+  | Core_over_capacity of { core : int; used : int; capacity : int }
+  | Too_many_nodes_in_core of { core : int; count : int; limit : int }
+  | Missing_node of { node_index : int }
+  | Partial_replica of { node_index : int; total_ags : int; per_replica : int }
+  | Non_positive_gene of { core : int; node_index : int; ag_count : int }
+
+val violations : t -> violation list
+val is_valid : t -> bool
+val pp_violation : violation Fmt.t
+
+(** {1 Mutations (paper operations I-IV)} *)
+
+type mutation = Add_replica | Remove_replica | Spread_gene | Merge_gene
+
+val all_mutations : mutation array
+val mutation_name : mutation -> string
+
+val mutate : Rng.t -> t -> mutation -> bool
+(** Applies the mutation in place; [false] means it was inapplicable and
+    the chromosome is unchanged. *)
+
+val mutate_random : Rng.t -> t -> bool
+
+(** {1 Concrete placement} *)
+
+type placement = {
+  p_node_index : int;
+  p_node_id : Nnir.Node.id;
+  p_replica : int;
+  p_ag_in_replica : int;
+  p_global_ag : int;
+  p_core : int;
+}
+
+val placements : t -> placement array
+(** Deterministic AG-to-core assignment realising the gene counts; the
+    scheduling and simulation substrate.  [p_global_ag] values are dense
+    and unique. *)
+
+val pp : t Fmt.t

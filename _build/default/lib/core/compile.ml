@@ -1,0 +1,163 @@
+(* End-to-end compilation driver (Fig. 3): parse -> node partitioning ->
+   weight replicating + core mapping -> dataflow scheduling, with
+   per-stage wall-time accounting (the paper's Table II). *)
+
+type mapping_strategy =
+  | Genetic_algorithm of Genetic.params
+  | Puma_like
+  | Random_search of Genetic.params
+
+let mapping_strategy_name = function
+  | Genetic_algorithm _ -> "pimcomp-ga"
+  | Puma_like -> "puma-like"
+  | Random_search _ -> "random-search"
+
+type options = {
+  mode : Mode.t;
+  parallelism : int;
+  core_count : int option;       (* None: fit the network (see Partition) *)
+  max_node_num_in_core : int;
+  allocator : Memalloc.strategy;
+  mvms_per_transfer : int;
+  seed : int;
+  strategy : mapping_strategy;
+  objective : Fitness.objective;
+}
+
+let default_options =
+  {
+    mode = Mode.High_throughput;
+    parallelism = 20;
+    core_count = None;
+    max_node_num_in_core = 16;
+    allocator = Memalloc.Ag_reuse;
+    mvms_per_transfer = 2;
+    seed = 42;
+    strategy = Genetic_algorithm Genetic.default_params;
+    objective = Fitness.Minimize_time;
+  }
+
+type stage_seconds = {
+  partitioning : float;
+  replicating_mapping : float;
+  scheduling : float;
+  total : float;
+}
+
+type t = {
+  graph : Nnir.Graph.t;
+  config : Pimhw.Config.t;
+  options : options;
+  core_count : int;
+  table : Partition.table;
+  chromosome : Chromosome.t;
+  layout : Layout.t;
+  program : Isa.t;
+  fitness : float;
+  ga : Genetic.result option;
+  stage_seconds : stage_seconds;
+}
+
+let timed f =
+  let t0 = Sys.time () in
+  let v = f () in
+  (v, Sys.time () -. t0)
+
+let compile ?(options = default_options) (config : Pimhw.Config.t)
+    (graph : Nnir.Graph.t) =
+  Pimhw.Config.validate config;
+  let timing = Pimhw.Timing.create ~parallelism:options.parallelism config in
+  (* stage 1: node partitioning *)
+  let table, partitioning = timed (fun () -> Partition.of_graph config graph) in
+  let core_count =
+    match options.core_count with
+    | Some n -> n
+    | None -> max config.Pimhw.Config.core_count (Partition.fit_core_count table)
+  in
+  (* stage 2: weight replicating + core mapping *)
+  let (chromosome, ga), replicating_mapping =
+    timed (fun () ->
+        match options.strategy with
+        | Genetic_algorithm params ->
+            let rng = Rng.create ~seed:options.seed in
+            let seeds =
+              match
+                Puma_baseline.build table ~core_count
+                  ~max_node_num_in_core:options.max_node_num_in_core
+              with
+              | c -> [ c ]
+              | exception Chromosome.Infeasible _ -> []
+            in
+            let result =
+              Genetic.optimize ~params ~seeds ~objective:options.objective
+                ~mode:options.mode ~timing ~rng table ~core_count
+                ~max_node_num_in_core:options.max_node_num_in_core ()
+            in
+            (result.Genetic.best, Some result)
+        | Random_search params ->
+            let rng = Rng.create ~seed:options.seed in
+            let result =
+              Genetic.random_search ~params ~objective:options.objective
+                ~mode:options.mode ~timing ~rng table ~core_count
+                ~max_node_num_in_core:options.max_node_num_in_core ()
+            in
+            (result.Genetic.best, Some result)
+        | Puma_like ->
+            ( Puma_baseline.build table ~core_count
+                ~max_node_num_in_core:options.max_node_num_in_core,
+              None ))
+  in
+  (match Chromosome.violations chromosome with
+  | [] -> ()
+  | v :: _ ->
+      invalid_arg
+        (Fmt.str "Compile: mapping violates constraints: %a"
+           Chromosome.pp_violation v));
+  let fitness = Fitness.evaluate options.mode timing chromosome in
+  (* stage 3: dataflow scheduling *)
+  let (layout, program), scheduling =
+    timed (fun () ->
+        let layout = Layout.of_chromosome chromosome in
+        let program =
+          match options.mode with
+          | Mode.High_throughput ->
+              Schedule_ht.schedule
+                ~options:
+                  {
+                    Schedule_ht.mvms_per_transfer = options.mvms_per_transfer;
+                    strategy = options.allocator;
+                  }
+                layout
+          | Mode.Low_latency ->
+              Schedule_ll.schedule
+                ~options:
+                  {
+                    Schedule_ll.default_options with
+                    strategy = options.allocator;
+                  }
+                layout
+        in
+        (layout, program))
+  in
+  (match Isa.check program with
+  | [] -> ()
+  | e :: _ -> invalid_arg (Fmt.str "Compile: malformed program: %s" e));
+  {
+    graph;
+    config;
+    options;
+    core_count;
+    table;
+    chromosome;
+    layout;
+    program;
+    fitness;
+    ga;
+    stage_seconds =
+      {
+        partitioning;
+        replicating_mapping;
+        scheduling;
+        total = partitioning +. replicating_mapping +. scheduling;
+      };
+  }

@@ -1,0 +1,51 @@
+(** End-to-end compilation driver (Fig. 3): node partitioning -> weight
+    replicating + core mapping -> dataflow scheduling, with per-stage
+    wall-time accounting (Table II). *)
+
+type mapping_strategy =
+  | Genetic_algorithm of Genetic.params
+  | Puma_like
+  | Random_search of Genetic.params
+
+val mapping_strategy_name : mapping_strategy -> string
+
+type options = {
+  mode : Mode.t;
+  parallelism : int;
+  core_count : int option;
+  max_node_num_in_core : int;
+  allocator : Memalloc.strategy;
+  mvms_per_transfer : int;
+  seed : int;
+  strategy : mapping_strategy;
+  objective : Fitness.objective;
+}
+
+val default_options : options
+(** HT mode, parallelism 20, AG-reuse, GA with the paper's parameters. *)
+
+type stage_seconds = {
+  partitioning : float;
+  replicating_mapping : float;
+  scheduling : float;
+  total : float;
+}
+
+type t = {
+  graph : Nnir.Graph.t;
+  config : Pimhw.Config.t;
+  options : options;
+  core_count : int;
+  table : Partition.table;
+  chromosome : Chromosome.t;
+  layout : Layout.t;
+  program : Isa.t;
+  fitness : float;
+  ga : Genetic.result option;
+  stage_seconds : stage_seconds;
+}
+
+val compile : ?options:options -> Pimhw.Config.t -> Nnir.Graph.t -> t
+(** Raises [Invalid_argument] on constraint violations or malformed
+    output programs and {!Chromosome.Infeasible} when the network cannot
+    fit the machine. *)

@@ -1,0 +1,455 @@
+(* GA fitness functions (Section IV-C2).  Both estimate an inference time
+   in nanoseconds; the GA minimises them.
+
+   HT: each core's estimated time accumulates segments of its AG-count
+   timeline (Fig. 5).  The AGs mapped to a core fire in turn at interval
+   T_interval; a node replicated R times gives each of its AGs
+   ceil(windows / R) operation cycles.  Sorting per-node cycle counts
+   ascending yields segments (c_k - c_{k-1}) during which n_k AGs remain,
+   each segment costing (c_k - c_{k-1}) * f(n_k) with
+   f(n) = max(n * T_interval, T_MVM).  F_HT = max over cores.
+
+   LL: nodes chain through waiting fractions W (Fig. 6).  A node starts
+   after its provider has produced the first W of its output and then
+   cannot run faster than the provider delivers the remaining (1 - W) —
+   the paper's f_x = min(R_p / R_x, 1) rate cap, realised here as
+   eff_x = max(S_x, eff_p * (1 - W_x)).  F_LL = max finish time. *)
+
+(* --- communication penalty ----------------------------------------------- *)
+
+(* Replicas whose AGs span multiple cores pay an inter-core accumulation
+   round per window (Section IV-B: "data accumulation across cores is
+   required").  The deterministic placement turns whole multiples of
+   [ags_per_replica] within one gene into unsplit replicas, so the number
+   of split replicas of a node is R minus the whole replicas its genes
+   can seat. *)
+let split_replicas (chrom : Chromosome.t) node_index =
+  let table = Chromosome.table chrom in
+  let info = Partition.entry table node_index in
+  let apr = info.Partition.ags_per_replica in
+  let whole = ref 0 in
+  for core = 0 to Chromosome.core_count chrom - 1 do
+    List.iter
+      (fun (g : Chromosome.gene) ->
+        if g.node_index = node_index then whole := !whole + (g.ag_count / apr))
+      (Chromosome.genes chrom core)
+  done;
+  max 0 (Chromosome.replication chrom node_index - !whole)
+
+(* Average extra nanoseconds one window of the node costs due to split
+   replicas: a partial-result transfer plus the receiving add, amortised
+   over the replicas. *)
+let per_window_comm_ns timing (info : Partition.info) ~splits ~replication =
+  if splits <= 0 then 0.0
+  else
+    let bytes = info.Partition.out_channels * Nnir.Tensor.bytes_per_element in
+    let transfer =
+      Pimhw.Timing.noc_ns timing ~hops:3 ~bytes
+      +. Pimhw.Timing.vec_ns timing ~elements:info.Partition.out_channels
+    in
+    float_of_int splits /. float_of_int (max 1 replication) *. transfer
+
+(* --- HT ------------------------------------------------------------------ *)
+
+(* Estimated busy time of one core given (ag_count, cycles) pairs. *)
+let core_time timing pairs =
+  let pairs =
+    List.filter (fun (ags, cycles) -> ags > 0 && cycles > 0) pairs
+    |> List.sort (fun (_, c1) (_, c2) -> compare c1 c2)
+  in
+  let total_ags = List.fold_left (fun acc (ags, _) -> acc + ags) 0 pairs in
+  let time = ref 0.0 in
+  let remaining = ref total_ags in
+  let prev_cycles = ref 0 in
+  List.iter
+    (fun (ags, cycles) ->
+      let span = cycles - !prev_cycles in
+      if span > 0 then begin
+        time :=
+          !time
+          +. float_of_int span
+             *. Pimhw.Timing.operation_cycle_ns timing ~ags_in_core:!remaining;
+        prev_cycles := cycles
+      end;
+      remaining := !remaining - ags)
+    pairs;
+  !time
+
+let ht timing (chrom : Chromosome.t) =
+  let table = Chromosome.table chrom in
+  let graph = Partition.table_graph table in
+  let config = Partition.table_config table in
+  let n = Partition.num_weighted table in
+  let penalty = Array.make n 0.0 in
+  let cycles_of = Array.make n 0 in
+  let fresh_bytes = Array.make n 0 in
+  for node_index = 0 to n - 1 do
+    let info = Partition.entry table node_index in
+    let r = Chromosome.replication chrom node_index in
+    cycles_of.(node_index) <-
+      Partition.ceil_div info.Partition.windows (max 1 r);
+    fresh_bytes.(node_index) <-
+      Sched_common.fresh_input_bytes_per_window graph info;
+    penalty.(node_index) <-
+      per_window_comm_ns timing info
+        ~splits:(split_replicas chrom node_index)
+        ~replication:r
+  done;
+  (* Per-core compute/accumulation time and per-core global traffic; the
+     traffic serialises per global-memory bank (as in the simulator). *)
+  let core_count = Chromosome.core_count chrom in
+  (* Conservative queueing model: transfer batches from different cores
+     arrive in bursts, so a bank sustains roughly half its nominal rate.
+     Optimising against the pessimistic figure keeps the GA away from
+     mappings whose mean-rate traffic only just fits. *)
+  let banks = max 1 (config.Pimhw.Config.global_memory_banks * 3 / 4) in
+  let bank_bytes = Array.make banks 0.0 in
+  let worst = ref 0.0 in
+  for core = 0 to core_count - 1 do
+    let genes = Chromosome.genes chrom core in
+    let pairs =
+      List.map
+        (fun (g : Chromosome.gene) -> (g.ag_count, cycles_of.(g.node_index)))
+        genes
+    in
+    let comm = ref 0.0 and traffic = ref 0.0 in
+    let working_set = ref 0.0 in
+    List.iter
+      (fun (g : Chromosome.gene) ->
+        let info = Partition.entry table g.node_index in
+        let cycles = float_of_int cycles_of.(g.node_index) in
+        comm := !comm +. (cycles *. penalty.(g.node_index));
+        (* input loads are proportional to the AG share of the replica;
+           output stores to the per-window result *)
+        let share =
+          float_of_int g.ag_count
+          /. float_of_int (max 1 info.Partition.ags_per_replica)
+        in
+        let per_window_bytes =
+          fresh_bytes.(g.node_index) + info.Partition.output_bytes_per_window
+        in
+        traffic := !traffic +. (cycles *. share *. float_of_int per_window_bytes);
+        (* simultaneously live bytes: a 2-window transfer batch of inputs
+           and staged outputs for every AG on this core *)
+        working_set :=
+          !working_set
+          +. (2.0 *. share *. float_of_int per_window_bytes))
+      genes;
+    (* Working sets beyond the scratchpad spill: every overflowing byte
+       makes a round trip per operation cycle (cf. Memalloc capacities). *)
+    let overflow =
+      Float.max 0.0
+        (!working_set
+        -. float_of_int config.Pimhw.Config.local_memory_bytes)
+    in
+    if overflow > 0.0 then begin
+      let max_cycles =
+        List.fold_left
+          (fun acc (g : Chromosome.gene) -> max acc cycles_of.(g.node_index))
+          0 genes
+      in
+      traffic := !traffic +. (2.0 *. overflow *. float_of_int max_cycles)
+    end;
+    bank_bytes.(core mod banks) <- bank_bytes.(core mod banks) +. !traffic;
+    let t = core_time timing pairs +. !comm in
+    if t > !worst then worst := t
+  done;
+  Array.iter
+    (fun bytes ->
+      let t = bytes /. config.Pimhw.Config.global_memory_gbps in
+      if t > !worst then worst := t)
+    bank_bytes;
+  !worst
+
+(* --- LL ------------------------------------------------------------------ *)
+
+(* Standalone uninterrupted execution time of a node given replication.
+   [comm_ns] is the extra per-window cost of split replicas. *)
+let standalone_ns ?(comm_ns = 0.0) timing table (g : Nnir.Graph.t) node_id
+    ~replication =
+  let node = Nnir.Graph.node g node_id in
+  match Partition.info_of_node table node_id with
+  | Some info ->
+      let cycles =
+        Partition.ceil_div info.Partition.windows (max 1 replication)
+      in
+      let per_cycle =
+        Pimhw.Timing.operation_cycle_ns timing
+          ~ags_in_core:info.Partition.ags_per_replica
+        +. comm_ns
+      in
+      float_of_int cycles *. per_cycle
+  | None ->
+      (* VFU / data-movement work, spread over the predecessor replicas. *)
+      let elements =
+        Nnir.Tensor.num_elements (Nnir.Node.output_shape node)
+      in
+      Pimhw.Timing.vec_ns timing ~elements
+      /. float_of_int (max 1 replication)
+
+(* Fraction of [cores] that also appear in [provider_cores] (both
+   ascending).  1.0 when the consumer's cores all hold the provider too,
+   so rows need no mesh hop. *)
+let overlap_fraction cores provider_cores =
+  match cores with
+  | [] -> 1.0
+  | _ ->
+      let shared =
+        List.fold_left
+          (fun acc c -> if List.mem c provider_cores then acc + 1 else acc)
+          0 cores
+      in
+      float_of_int shared /. float_of_int (List.length cores)
+
+let ll timing (chrom : Chromosome.t) =
+  let table = Chromosome.table chrom in
+  let g = Partition.table_graph table in
+  let n = Nnir.Graph.num_nodes g in
+  let start = Array.make n 0.0 and eff = Array.make n 0.0 in
+  (* cores each node's work lives on: own AG cores for weighted nodes,
+     inherited from providers otherwise *)
+  let cores : int list array = Array.make n [] in
+  let finish = ref 0.0 in
+  Array.iter
+    (fun id ->
+      let node = Nnir.Graph.node g id in
+      let op = Nnir.Node.op node in
+      cores.(id) <-
+        (match Partition.index_of_node table id with
+        | -1 ->
+            List.fold_left
+              (fun acc src -> List.sort_uniq compare (cores.(src) @ acc))
+              [] (Nnir.Node.inputs node)
+        | node_index -> Chromosome.cores_of_node chrom node_index);
+      (* Replication of this node's work: its own for weighted nodes, the
+         max of its weighted ancestors' for VFU/memory ops (Section IV-D2:
+         other operations are divided according to the predecessor conv's
+         replication). *)
+      let replication =
+        if Nnir.Node.is_weighted node then
+          Chromosome.replication_by_node_id chrom id
+        else
+          match Nnir.Graph.weighted_ancestors g id with
+          | [] -> 1
+          | ancestors ->
+              List.fold_left
+                (fun acc a ->
+                  max acc (Chromosome.replication_by_node_id chrom a))
+                1 ancestors
+      in
+      let comm_ns =
+        match Partition.index_of_node table id with
+        | -1 -> 0.0
+        | node_index ->
+            let info = Partition.entry table node_index in
+            per_window_comm_ns timing info
+              ~splits:(split_replicas chrom node_index)
+              ~replication
+      in
+      let s = standalone_ns ~comm_ns timing table g id ~replication in
+      match Nnir.Node.inputs node with
+      | [] ->
+          start.(id) <- 0.0;
+          eff.(id) <- 0.0
+      | inputs ->
+          let in_rows =
+            match inputs with
+            | src :: _ ->
+                let sh = Nnir.Node.output_shape (Nnir.Graph.node g src) in
+                if Nnir.Tensor.is_chw sh then Nnir.Tensor.height sh else 1
+            | [] -> 1
+          in
+          let w = Receptive.waiting_fraction op ~in_rows in
+          (* Per-stage pipeline-fill latency.  With contiguous row
+             ownership the provider's first rows come from one replica,
+             serialised at its per-window rate, so the fill is
+             rows_needed x provider_row_time — replication does not help
+             the fill, only the steady state.  Add the chunk transfer to
+             the consumer cores (scaled by mapping overlap) and the
+             head-core accumulation burst. *)
+          let _, row_bytes = Sched_common.row_geometry node in
+          let row_elements = row_bytes / Nnir.Tensor.bytes_per_element in
+          let remote =
+            List.fold_left
+              (fun acc src ->
+                Float.max acc (1.0 -. overlap_fraction cores.(id) cores.(src)))
+              0.0 inputs
+          in
+          (* Column-wise replication means all R_p replicas cooperate on
+             each provider row, so a fill row costs W_p/R_p windows. *)
+          let provider_fill src =
+            let p = Nnir.Graph.node g src in
+            match Partition.info_of_node table src with
+            | Some pinfo ->
+                let k =
+                  max 1
+                    (min
+                       (Receptive.rows_needed op ~out_row:1 ~in_rows)
+                       in_rows)
+                in
+                let per_window =
+                  Pimhw.Timing.operation_cycle_ns timing
+                    ~ags_in_core:pinfo.Partition.ags_per_replica
+                in
+                let r_p =
+                  max 1 (Chromosome.replication_by_node_id chrom src)
+                in
+                float_of_int ((k - 1) * pinfo.Partition.out_width)
+                *. per_window
+                /. float_of_int r_p
+            | None ->
+                let _, pb = Sched_common.row_geometry p in
+                Pimhw.Timing.vec_ns timing
+                  ~elements:(pb / Nnir.Tensor.bytes_per_element)
+          in
+          let stage_overhead =
+            (remote *. Pimhw.Timing.noc_ns timing ~hops:3 ~bytes:row_bytes)
+            +. Pimhw.Timing.vec_ns timing ~elements:row_elements
+          in
+          (* The consumer waits for the later of the structural fill
+             (first rows stream from one replica) and the W fraction of
+             the provider's steady-state execution (Fig. 6). *)
+          let st =
+            List.fold_left
+              (fun acc src ->
+                Float.max acc
+                  (start.(src)
+                  +. Float.max (provider_fill src) (eff.(src) *. w)))
+              0.0 inputs
+            +. stage_overhead
+          in
+          let provider_rate =
+            List.fold_left
+              (fun acc src -> Float.max acc (eff.(src) *. (1.0 -. w)))
+              0.0 inputs
+          in
+          start.(id) <- st;
+          eff.(id) <- Float.max s provider_rate;
+          finish := Float.max !finish (st +. eff.(id)))
+    (Nnir.Graph.topo_order g);
+  (* Congestion bound: in the row pipeline every mapped layer is active
+     at once, so the makespan is also bounded by the busiest core's total
+     work (MVM issue/serialisation plus accumulation epilogues). *)
+  let table_n = Partition.num_weighted table in
+  let cycles_of = Array.make table_n 0 in
+  let vec_share = Array.make table_n 0.0 in
+  let penalty = Array.make table_n 0.0 in
+  for node_index = 0 to table_n - 1 do
+    let info = Partition.entry table node_index in
+    let r = max 1 (Chromosome.replication chrom node_index) in
+    cycles_of.(node_index) <- Partition.ceil_div info.Partition.windows r;
+    let holders =
+      max 1 (List.length (Chromosome.cores_of_node chrom node_index))
+    in
+    vec_share.(node_index) <-
+      float_of_int info.Partition.out_height
+      /. float_of_int holders
+      *. Pimhw.Timing.vec_ns timing
+           ~elements:(info.Partition.out_channels * info.Partition.out_width);
+    penalty.(node_index) <-
+      per_window_comm_ns timing info
+        ~splits:(split_replicas chrom node_index)
+        ~replication:r
+  done;
+  for core = 0 to Chromosome.core_count chrom - 1 do
+    let genes = Chromosome.genes chrom core in
+    let pairs =
+      List.map
+        (fun (gn : Chromosome.gene) -> (gn.ag_count, cycles_of.(gn.node_index)))
+        genes
+    in
+    let extra =
+      List.fold_left
+        (fun acc (gn : Chromosome.gene) ->
+          acc
+          +. vec_share.(gn.node_index)
+          +. (float_of_int cycles_of.(gn.node_index)
+             *. penalty.(gn.node_index)))
+        0.0 genes
+    in
+    let t = core_time timing pairs +. extra in
+    if t > !finish then finish := t
+  done;
+  !finish
+
+(* --- energy estimate (for the energy-aware objective) --------------------- *)
+
+(* First-order per-inference energy of a mapping: the dynamic crossbar
+   energy is mapping-invariant (total MVM work is fixed), so what the GA
+   can actually trade is leakage — static power integrated over each
+   active core's busy window.  Busy windows are approximated by the
+   per-core Fig. 5 segment times (HT) or the chain finish (LL, all
+   active cores run the whole pipeline). *)
+let estimate_energy_pj (em : Pimhw.Energy_model.t) (mode : Mode.t) timing
+    (chrom : Chromosome.t) =
+  let table = Chromosome.table chrom in
+  let dynamic =
+    Array.fold_left
+      (fun acc (info : Partition.info) ->
+        acc
+        +. (float_of_int
+              (info.Partition.windows * info.Partition.ags_per_replica
+             * info.Partition.xbars_per_ag)
+           *. em.Pimhw.Energy_model.mvm_energy_pj))
+      0.0 (Partition.entries table)
+  in
+  let static =
+    match mode with
+    | Mode.High_throughput ->
+        let total = ref 0.0 in
+        for core = 0 to Chromosome.core_count chrom - 1 do
+          let pairs =
+            List.map
+              (fun (g : Chromosome.gene) ->
+                let info = Partition.entry table g.node_index in
+                let r = Chromosome.replication chrom g.node_index in
+                (g.ag_count, Partition.ceil_div info.Partition.windows (max 1 r)))
+              (Chromosome.genes chrom core)
+          in
+          total := !total +. core_time timing pairs
+        done;
+        !total *. em.Pimhw.Energy_model.core_static_mw
+    | Mode.Low_latency ->
+        let makespan = ll timing chrom in
+        let active = ref 0 in
+        for core = 0 to Chromosome.core_count chrom - 1 do
+          if Chromosome.genes chrom core <> [] then incr active
+        done;
+        makespan *. float_of_int !active
+        *. em.Pimhw.Energy_model.core_static_mw
+  in
+  dynamic +. static
+
+(* --- objectives ------------------------------------------------------------ *)
+
+type objective = Minimize_time | Minimize_energy_delay
+
+let objective_name = function
+  | Minimize_time -> "time"
+  | Minimize_energy_delay -> "energy-delay"
+
+(* Gentle pressure toward resource economy: replicas that buy no time
+   still cost crossbar programming and leakage, so ties break toward the
+   smaller mapping (at most a 1% effect — any real speedup wins). *)
+let resource_pressure (chrom : Chromosome.t) =
+  let config = Partition.table_config (Chromosome.table chrom) in
+  let capacity =
+    Chromosome.core_count chrom * config.Pimhw.Config.xbars_per_core
+  in
+  let used = ref 0 in
+  for core = 0 to Chromosome.core_count chrom - 1 do
+    used := !used + Chromosome.core_xbars chrom core
+  done;
+  1.0 +. (0.01 *. float_of_int !used /. float_of_int (max 1 capacity))
+
+let evaluate ?(objective = Minimize_time) (mode : Mode.t) timing chrom =
+  let time =
+    match mode with
+    | Mode.High_throughput -> ht timing chrom
+    | Mode.Low_latency -> ll timing chrom
+  in
+  match objective with
+  | Minimize_time -> time *. resource_pressure chrom
+  | Minimize_energy_delay ->
+      let em = Pimhw.Energy_model.create timing.Pimhw.Timing.config in
+      time *. estimate_energy_pj em mode timing chrom /. 1e6

@@ -1,0 +1,46 @@
+(** GA fitness functions (Section IV-C2): estimated inference time in
+    nanoseconds, minimised by the genetic algorithm. *)
+
+val core_time : Pimhw.Timing.t -> (int * int) list -> float
+(** [core_time timing pairs] — estimated busy time of one core from
+    [(ag_count, operation_cycles)] pairs, the segment computation of the
+    paper's Fig. 5 (exposed for unit tests). *)
+
+val ht : Pimhw.Timing.t -> Chromosome.t -> float
+(** F_HT = max over cores of the estimated core time. *)
+
+val ll : Pimhw.Timing.t -> Chromosome.t -> float
+(** F_LL: waiting-fraction chain over the topology (Fig. 6). *)
+
+val split_replicas : Chromosome.t -> int -> int
+(** Replicas of a weighted node whose AGs span several cores. *)
+
+val per_window_comm_ns :
+  Pimhw.Timing.t -> Partition.info -> splits:int -> replication:int -> float
+
+val standalone_ns :
+  ?comm_ns:float ->
+  Pimhw.Timing.t ->
+  Partition.table ->
+  Nnir.Graph.t ->
+  Nnir.Node.id ->
+  replication:int ->
+  float
+
+(** {1 Objectives} *)
+
+type objective = Minimize_time | Minimize_energy_delay
+
+val objective_name : objective -> string
+
+val estimate_energy_pj :
+  Pimhw.Energy_model.t -> Mode.t -> Pimhw.Timing.t -> Chromosome.t -> float
+(** First-order per-inference energy of a mapping (dynamic crossbar work
+    plus leakage over estimated busy windows). *)
+
+val resource_pressure : Chromosome.t -> float
+(** Multiplicative tie-breaker (<= 1.01) favouring smaller mappings. *)
+
+val evaluate :
+  ?objective:objective -> Mode.t -> Pimhw.Timing.t -> Chromosome.t -> float
+(** GA objective: estimated time (default) or energy-delay product. *)

@@ -1,0 +1,141 @@
+(* The modified genetic algorithm of Section IV-C: random initialisation,
+   no crossover (the paper judges it meaningless for this encoding),
+   mutation operations I-IV, elitist truncation selection, fitness F_HT or
+   F_LL.  The paper's evaluation uses population 100 and 200 iterations;
+   those are the defaults. *)
+
+type params = {
+  population : int;
+  iterations : int;
+  elite : int;                   (* individuals copied unchanged *)
+  mutations_per_child : int;
+  extra_replica_attempts : int;  (* initial-population diversity *)
+  patience : int option;         (* stop after this many stale iterations *)
+}
+
+let default_params =
+  {
+    population = 100;
+    iterations = 200;
+    elite = 10;
+    mutations_per_child = 1;
+    extra_replica_attempts = 4;
+    patience = None;
+  }
+
+(* A smaller setting for tests and quick exploration. *)
+let fast_params =
+  {
+    population = 24;
+    iterations = 60;
+    elite = 4;
+    mutations_per_child = 1;
+    extra_replica_attempts = 2;
+    patience = Some 25;
+  }
+
+type individual = { chrom : Chromosome.t; fitness : float }
+
+type result = {
+  best : Chromosome.t;
+  best_fitness : float;
+  initial_best_fitness : float;
+  generations_run : int;
+  history : float list;  (* best fitness per generation, oldest first *)
+}
+
+let evaluate ?objective mode timing chrom =
+  { chrom; fitness = Fitness.evaluate ?objective mode timing chrom }
+
+let sort_population pop =
+  Array.sort (fun a b -> compare a.fitness b.fitness) pop
+
+let optimize ?(params = default_params) ?(seeds = []) ?objective ~mode
+    ~timing ~rng table ~core_count ~max_node_num_in_core () =
+  if params.population < 2 then invalid_arg "Genetic.optimize: population < 2";
+  (* Half the initial population packs compactly, half scatters; any
+     caller-provided seed individuals (e.g. the PUMA-like mapping) join
+     it, so the GA result can only improve on them. *)
+  let seeds =
+    List.filter Chromosome.is_valid seeds |> List.map Chromosome.copy
+  in
+  let fresh i =
+    if i mod 2 = 0 then
+      Chromosome.compact_initial rng table ~core_count ~max_node_num_in_core
+        ~extra_replica_attempts:params.extra_replica_attempts ()
+    else
+      Chromosome.random_initial rng table ~core_count ~max_node_num_in_core
+        ~extra_replica_attempts:params.extra_replica_attempts ()
+  in
+  let seeds = Array.of_list seeds in
+  let pop =
+    Array.init params.population (fun i ->
+        if i < Array.length seeds then evaluate ?objective mode timing seeds.(i)
+        else evaluate ?objective mode timing (fresh i))
+  in
+  sort_population pop;
+  let initial_best_fitness = pop.(0).fitness in
+  let history = ref [ initial_best_fitness ] in
+  let stale = ref 0 in
+  let generation = ref 0 in
+  let elite = min params.elite (params.population - 1) in
+  let should_stop () =
+    !generation >= params.iterations
+    || match params.patience with Some p -> !stale >= p | None -> false
+  in
+  while not (should_stop ()) do
+    incr generation;
+    let previous_best = pop.(0).fitness in
+    (* Children replace the non-elite tail.  Parents come from the elite
+       half (truncation selection). *)
+    let parent_pool = max 1 (params.population / 2) in
+    for i = elite to params.population - 1 do
+      let parent = pop.(Rng.int rng parent_pool).chrom in
+      let child = Chromosome.copy parent in
+      let changed = ref false in
+      for _ = 1 to params.mutations_per_child do
+        if Chromosome.mutate_random rng child then changed := true
+      done;
+      if !changed then pop.(i) <- evaluate ?objective mode timing child
+    done;
+    sort_population pop;
+    if pop.(0).fitness < previous_best -. 1e-9 then stale := 0
+    else incr stale;
+    history := pop.(0).fitness :: !history
+  done;
+  {
+    best = pop.(0).chrom;
+    best_fitness = pop.(0).fitness;
+    initial_best_fitness;
+    generations_run = !generation;
+    history = List.rev !history;
+  }
+
+(* Random search with the same evaluation budget, used by the ablation
+   benchmarks to show the mutations matter. *)
+let random_search ?(params = default_params) ?objective ~mode ~timing ~rng
+    table ~core_count ~max_node_num_in_core () =
+  let budget = params.population * (params.iterations + 1) in
+  let best = ref None in
+  for _ = 1 to budget do
+    match
+      Chromosome.random_initial rng table ~core_count ~max_node_num_in_core
+        ~extra_replica_attempts:params.extra_replica_attempts ()
+    with
+    | chrom ->
+        let ind = evaluate ?objective mode timing chrom in
+        (match !best with
+        | Some b when b.fitness <= ind.fitness -> ()
+        | _ -> best := Some ind)
+    | exception Chromosome.Infeasible _ -> ()
+  done;
+  match !best with
+  | Some b ->
+      {
+        best = b.chrom;
+        best_fitness = b.fitness;
+        initial_best_fitness = b.fitness;
+        generations_run = budget;
+        history = [ b.fitness ];
+      }
+  | None -> raise (Chromosome.Infeasible "random search found no individual")

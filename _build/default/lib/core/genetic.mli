@@ -1,0 +1,52 @@
+(** The modified genetic algorithm of Section IV-C (no crossover,
+    mutations I-IV, elitist truncation selection). *)
+
+type params = {
+  population : int;
+  iterations : int;
+  elite : int;
+  mutations_per_child : int;
+  extra_replica_attempts : int;
+  patience : int option;
+}
+
+val default_params : params
+(** Paper setting: population 100, 200 iterations. *)
+
+val fast_params : params
+(** Reduced setting for tests and quick sweeps. *)
+
+type result = {
+  best : Chromosome.t;
+  best_fitness : float;
+  initial_best_fitness : float;
+  generations_run : int;
+  history : float list;
+}
+
+val optimize :
+  ?params:params ->
+  ?seeds:Chromosome.t list ->
+  ?objective:Fitness.objective ->
+  mode:Mode.t ->
+  timing:Pimhw.Timing.t ->
+  rng:Rng.t ->
+  Partition.table ->
+  core_count:int ->
+  max_node_num_in_core:int ->
+  unit ->
+  result
+
+val random_search :
+  ?params:params ->
+  ?objective:Fitness.objective ->
+  mode:Mode.t ->
+  timing:Pimhw.Timing.t ->
+  rng:Rng.t ->
+  Partition.table ->
+  core_count:int ->
+  max_node_num_in_core:int ->
+  unit ->
+  result
+(** Same evaluation budget, initialisation only — the mutation-ablation
+    baseline. *)

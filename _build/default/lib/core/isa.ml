@@ -1,0 +1,161 @@
+(* The abstract operation stream (Section III-B): each core receives a
+   static sequence of basic operations — MVM (PIM matrix unit), VEC
+   (vector functional unit), MEM (global memory access) and COMM
+   (inter-core transfer) — with explicit intra-core dependencies and
+   SEND/RECV rendezvous tags across cores.
+
+   Execution semantics (realised by Pimsim.Engine): an instruction may
+   start once all its [deps] have retired and its resources are free; the
+   order within the array is only a naming convention, the dependency
+   graph is what executes.  MVMs on the same AG conflict structurally;
+   MVM issue on a core is rate-limited to one per T_interval. *)
+
+type vec_kind =
+  | Vadd
+  | Vmul
+  | Vmax
+  | Vact of Nnir.Op.activation_kind
+  | Vpool
+  | Vsoftmax
+  | Vmove
+
+let vec_kind_name = function
+  | Vadd -> "vadd"
+  | Vmul -> "vmul"
+  | Vmax -> "vmax"
+  | Vact Nnir.Op.Relu -> "vrelu"
+  | Vact Nnir.Op.Sigmoid -> "vsigmoid"
+  | Vact Nnir.Op.Tanh -> "vtanh"
+  | Vpool -> "vpool"
+  | Vsoftmax -> "vsoftmax"
+  | Vmove -> "vmove"
+
+type op =
+  | Mvm of {
+      ag : int;            (* global AG id: the structural-conflict unit *)
+      windows : int;       (* consecutive sliding windows in this burst *)
+      xbars : int;         (* crossbars driven per window (energy) *)
+      input_bytes : int;   (* local-memory reads per window *)
+      output_bytes : int;  (* local-memory writes per window *)
+    }
+  | Vec of { kind : vec_kind; elements : int }
+  | Load of { bytes : int }   (* global memory -> local memory *)
+  | Store of { bytes : int }  (* local memory -> global memory *)
+  | Send of { dst : int; bytes : int; tag : int }
+  | Recv of { src : int; bytes : int; tag : int }
+
+type instr = {
+  op : op;
+  deps : int list;        (* indices of earlier instructions, same core *)
+  node_id : Nnir.Node.id; (* provenance; -1 for bookkeeping *)
+}
+
+type memory_report = {
+  local_peak_bytes : int array;     (* per core, allocator demand *)
+  spill_bytes : int;                (* HT overflow traffic, both ways *)
+  global_load_bytes : int;
+  global_store_bytes : int;
+}
+
+type t = {
+  graph_name : string;
+  mode : Mode.t;
+  allocator : Memalloc.strategy;
+  core_count : int;
+  cores : instr array array;
+  ag_core : int array;
+  ag_xbars : int array;
+  num_tags : int;
+  (* Longest chain of weighted layers: in HT mode one inference
+     traverses this many pipeline stages, each lasting one steady-state
+     interval (the makespan of the compiled stream). *)
+  pipeline_depth : int;
+  memory : memory_report;
+}
+
+let num_instrs t =
+  Array.fold_left (fun acc c -> acc + Array.length c) 0 t.cores
+
+let num_mvms t =
+  Array.fold_left
+    (fun acc core ->
+      Array.fold_left
+        (fun acc i -> match i.op with Mvm _ -> acc + 1 | _ -> acc)
+        acc core)
+    0 t.cores
+
+let total_mvm_windows t =
+  Array.fold_left
+    (fun acc core ->
+      Array.fold_left
+        (fun acc i ->
+          match i.op with Mvm { windows; _ } -> acc + windows | _ -> acc)
+        acc core)
+    0 t.cores
+
+let pp_op ppf = function
+  | Mvm m -> Fmt.pf ppf "MVM ag=%d w=%d" m.ag m.windows
+  | Vec v -> Fmt.pf ppf "VEC %s n=%d" (vec_kind_name v.kind) v.elements
+  | Load l -> Fmt.pf ppf "LOAD %dB" l.bytes
+  | Store s -> Fmt.pf ppf "STORE %dB" s.bytes
+  | Send s -> Fmt.pf ppf "SEND ->%d %dB tag=%d" s.dst s.bytes s.tag
+  | Recv r -> Fmt.pf ppf "RECV <-%d %dB tag=%d" r.src r.bytes r.tag
+
+let pp_instr ppf i =
+  Fmt.pf ppf "%a deps=%a node=%d" pp_op i.op
+    Fmt.(brackets (list ~sep:comma int))
+    i.deps i.node_id
+
+(* Structural sanity of a program: dependency indices in range and
+   strictly smaller than the instruction's own index, SEND/RECV tags in
+   matching pairs with consistent endpoints and sizes. *)
+type check_error = string
+
+let check t : check_error list =
+  let errors = ref [] in
+  let err fmt = Fmt.kstr (fun s -> errors := s :: !errors) fmt in
+  let sends = Hashtbl.create 256 and recvs = Hashtbl.create 256 in
+  Array.iteri
+    (fun core instrs ->
+      Array.iteri
+        (fun idx i ->
+          List.iter
+            (fun d ->
+              if d < 0 || d >= idx then
+                err "core %d instr %d: dep %d out of range" core idx d)
+            i.deps;
+          match i.op with
+          | Send s ->
+              if s.dst < 0 || s.dst >= t.core_count then
+                err "core %d instr %d: send to invalid core %d" core idx s.dst;
+              if Hashtbl.mem sends s.tag then
+                err "duplicate send tag %d" s.tag
+              else Hashtbl.add sends s.tag (core, s.dst, s.bytes)
+          | Recv r ->
+              if Hashtbl.mem recvs r.tag then
+                err "duplicate recv tag %d" r.tag
+              else Hashtbl.add recvs r.tag (r.src, core, r.bytes)
+          | Mvm m ->
+              if m.ag < 0 || m.ag >= Array.length t.ag_core then
+                err "core %d instr %d: invalid AG %d" core idx m.ag
+              else if t.ag_core.(m.ag) <> core then
+                err "core %d instr %d: AG %d belongs to core %d" core idx m.ag
+                  t.ag_core.(m.ag)
+          | Vec _ | Load _ | Store _ -> ())
+        instrs)
+    t.cores;
+  Hashtbl.iter
+    (fun tag (src, dst, bytes) ->
+      match Hashtbl.find_opt recvs tag with
+      | None -> err "send tag %d has no recv" tag
+      | Some (rsrc, rdst, rbytes) ->
+          if rsrc <> src || rdst <> dst then
+            err "tag %d endpoints mismatch: send %d->%d, recv %d->%d" tag src
+              dst rsrc rdst;
+          if rbytes <> bytes then err "tag %d size mismatch" tag)
+    sends;
+  Hashtbl.iter
+    (fun tag _ ->
+      if not (Hashtbl.mem sends tag) then err "recv tag %d has no send" tag)
+    recvs;
+  List.rev !errors

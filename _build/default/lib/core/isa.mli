@@ -1,0 +1,70 @@
+(** The abstract operation stream (Section III-B): per-core static
+    sequences of MVM / VEC / MEM (LOAD, STORE) / COMM (SEND, RECV)
+    operations with explicit intra-core dependencies and cross-core
+    rendezvous tags.
+
+    Execution semantics (realised by [Pimsim.Engine]): an instruction may
+    start once its [deps] have retired and its resources are free; MVMs
+    on the same AG conflict structurally; MVM issue is rate-limited per
+    core to one window per T_interval. *)
+
+type vec_kind =
+  | Vadd
+  | Vmul
+  | Vmax
+  | Vact of Nnir.Op.activation_kind
+  | Vpool
+  | Vsoftmax
+  | Vmove
+
+val vec_kind_name : vec_kind -> string
+
+type op =
+  | Mvm of {
+      ag : int;
+      windows : int;
+      xbars : int;
+      input_bytes : int;
+      output_bytes : int;
+    }
+  | Vec of { kind : vec_kind; elements : int }
+  | Load of { bytes : int }
+  | Store of { bytes : int }
+  | Send of { dst : int; bytes : int; tag : int }
+  | Recv of { src : int; bytes : int; tag : int }
+
+type instr = { op : op; deps : int list; node_id : Nnir.Node.id }
+
+type memory_report = {
+  local_peak_bytes : int array;
+  spill_bytes : int;
+  global_load_bytes : int;
+  global_store_bytes : int;
+}
+
+type t = {
+  graph_name : string;
+  mode : Mode.t;
+  allocator : Memalloc.strategy;
+  core_count : int;
+  cores : instr array array;
+  ag_core : int array;
+  ag_xbars : int array;
+  num_tags : int;
+  pipeline_depth : int;
+  memory : memory_report;
+}
+
+val num_instrs : t -> int
+val num_mvms : t -> int
+val total_mvm_windows : t -> int
+
+val pp_op : op Fmt.t
+val pp_instr : instr Fmt.t
+
+type check_error = string
+
+val check : t -> check_error list
+(** Structural sanity: dependency indices in range and backward-only,
+    SEND/RECV tags paired with consistent endpoints and sizes, AGs on
+    their owning cores.  Empty list means well-formed. *)

@@ -1,0 +1,282 @@
+(* Textual serialisation of compiled operation streams — the "generated
+   instruction flow" artefact of the dataflow-scheduling stage (the
+   PUMA-style ISA dump).  Round-trips exactly through [of_string].
+
+   Format (whitespace-separated, one instruction per line):
+
+     program <name> mode=HT allocator=AG-reuse cores=4 tags=7 depth=3
+     memory spill=0 gload=1024 gstore=512 peaks=100,0,20,0
+     ag <id> core=<c> xbars=<n>
+     core <c>
+       <idx>: MVM ag=5 w=2 xb=2 in=64 out=128 deps=1,2 node=7
+       <idx>: VEC vadd n=256 deps= node=7
+       <idx>: LOAD 1024 deps= node=3
+       <idx>: STORE 64 deps=4 node=3
+       <idx>: SEND dst=4 bytes=128 tag=9 deps=2 node=3
+       <idx>: RECV src=2 bytes=64 tag=11 deps= node=3 *)
+
+exception Parse_error of { line : int; message : string }
+
+let errf line fmt =
+  Fmt.kstr (fun message -> raise (Parse_error { line; message })) fmt
+
+(* --- printing ------------------------------------------------------------ *)
+
+let deps_to_string deps = String.concat "," (List.map string_of_int deps)
+
+let instr_to_line idx (i : Isa.instr) =
+  let body =
+    match i.Isa.op with
+    | Isa.Mvm m ->
+        Fmt.str "MVM ag=%d w=%d xb=%d in=%d out=%d" m.ag m.windows m.xbars
+          m.input_bytes m.output_bytes
+    | Isa.Vec v -> Fmt.str "VEC %s n=%d" (Isa.vec_kind_name v.kind) v.elements
+    | Isa.Load l -> Fmt.str "LOAD %d" l.bytes
+    | Isa.Store s -> Fmt.str "STORE %d" s.bytes
+    | Isa.Send s -> Fmt.str "SEND dst=%d bytes=%d tag=%d" s.dst s.bytes s.tag
+    | Isa.Recv r -> Fmt.str "RECV src=%d bytes=%d tag=%d" r.src r.bytes r.tag
+  in
+  Fmt.str "  %d: %s deps=%s node=%d" idx body
+    (deps_to_string i.Isa.deps)
+    i.Isa.node_id
+
+let to_string (t : Isa.t) =
+  let buf = Buffer.create (64 * Isa.num_instrs t) in
+  let add fmt = Fmt.kstr (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  add "program %s mode=%s allocator=%s cores=%d tags=%d depth=%d"
+    t.Isa.graph_name
+    (Mode.to_string t.Isa.mode)
+    (Memalloc.strategy_name t.Isa.allocator)
+    t.Isa.core_count t.Isa.num_tags t.Isa.pipeline_depth;
+  add "memory spill=%d gload=%d gstore=%d peaks=%s"
+    t.Isa.memory.Isa.spill_bytes t.Isa.memory.Isa.global_load_bytes
+    t.Isa.memory.Isa.global_store_bytes
+    (String.concat ","
+       (Array.to_list
+          (Array.map string_of_int t.Isa.memory.Isa.local_peak_bytes)));
+  Array.iteri
+    (fun ag core -> add "ag %d core=%d xbars=%d" ag core t.Isa.ag_xbars.(ag))
+    t.Isa.ag_core;
+  Array.iteri
+    (fun core instrs ->
+      add "core %d" core;
+      Array.iteri
+        (fun idx i -> Buffer.add_string buf (instr_to_line idx i ^ "\n"))
+        instrs)
+    t.Isa.cores;
+  Buffer.contents buf
+
+(* --- parsing ------------------------------------------------------------- *)
+
+let parse_int line what s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> errf line "invalid integer %S for %s" s what
+
+let fields_of tokens =
+  List.filter_map
+    (fun tok ->
+      match String.index_opt tok '=' with
+      | Some i ->
+          Some
+            ( String.sub tok 0 i,
+              String.sub tok (i + 1) (String.length tok - i - 1) )
+      | None -> None)
+    tokens
+
+let field line fields key =
+  match List.assoc_opt key fields with
+  | Some v -> v
+  | None -> errf line "missing field %S" key
+
+let parse_deps line s =
+  if s = "" then []
+  else String.split_on_char ',' s |> List.map (parse_int line "dep")
+
+let parse_vec_kind line = function
+  | "vadd" -> Isa.Vadd
+  | "vmul" -> Isa.Vmul
+  | "vmax" -> Isa.Vmax
+  | "vrelu" -> Isa.Vact Nnir.Op.Relu
+  | "vsigmoid" -> Isa.Vact Nnir.Op.Sigmoid
+  | "vtanh" -> Isa.Vact Nnir.Op.Tanh
+  | "vpool" -> Isa.Vpool
+  | "vsoftmax" -> Isa.Vsoftmax
+  | "vmove" -> Isa.Vmove
+  | s -> errf line "unknown vector kind %S" s
+
+let tokenize s = String.split_on_char ' ' s |> List.filter (fun t -> t <> "")
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let header = ref None in
+  let memory = ref None in
+  let ags = ref [] in
+  let cores : (int, Isa.instr list ref) Hashtbl.t = Hashtbl.create 64 in
+  let current_core = ref None in
+  List.iteri
+    (fun i raw ->
+      let line = i + 1 in
+      let raw = String.trim raw in
+      if raw <> "" then
+        match tokenize raw with
+        | "program" :: name :: rest ->
+            let f = fields_of rest in
+            header :=
+              Some
+                ( name,
+                  Mode.of_string (field line f "mode"),
+                  Memalloc.strategy_of_string (field line f "allocator"),
+                  parse_int line "cores" (field line f "cores"),
+                  parse_int line "tags" (field line f "tags"),
+                  parse_int line "depth" (field line f "depth") )
+        | "memory" :: rest ->
+            let f = fields_of rest in
+            let peaks =
+              match field line f "peaks" with
+              | "" -> [||]
+              | s ->
+                  String.split_on_char ',' s
+                  |> List.map (parse_int line "peak")
+                  |> Array.of_list
+            in
+            memory :=
+              Some
+                {
+                  Isa.spill_bytes = parse_int line "spill" (field line f "spill");
+                  global_load_bytes =
+                    parse_int line "gload" (field line f "gload");
+                  global_store_bytes =
+                    parse_int line "gstore" (field line f "gstore");
+                  local_peak_bytes = peaks;
+                }
+        | [ "ag"; id; core_kv; xbars_kv ] ->
+            let f = fields_of [ core_kv; xbars_kv ] in
+            ags :=
+              ( parse_int line "ag id" id,
+                parse_int line "core" (field line f "core"),
+                parse_int line "xbars" (field line f "xbars") )
+              :: !ags
+        | [ "core"; c ] ->
+            let c = parse_int line "core id" c in
+            if not (Hashtbl.mem cores c) then Hashtbl.add cores c (ref []);
+            current_core := Some c
+        | idx_colon :: kind :: rest -> (
+            match !current_core with
+            | None -> errf line "instruction before any core header"
+            | Some c ->
+                ignore idx_colon;
+                let f = fields_of rest in
+                let deps = parse_deps line (field line f "deps") in
+                let node_id = parse_int line "node" (field line f "node") in
+                let op =
+                  match kind with
+                  | "MVM" ->
+                      Isa.Mvm
+                        {
+                          ag = parse_int line "ag" (field line f "ag");
+                          windows = parse_int line "w" (field line f "w");
+                          xbars = parse_int line "xb" (field line f "xb");
+                          input_bytes = parse_int line "in" (field line f "in");
+                          output_bytes =
+                            parse_int line "out" (field line f "out");
+                        }
+                  | "VEC" ->
+                      let kind_name =
+                        match rest with
+                        | k :: _ -> k
+                        | [] -> errf line "VEC without kind"
+                      in
+                      Isa.Vec
+                        {
+                          kind = parse_vec_kind line kind_name;
+                          elements = parse_int line "n" (field line f "n");
+                        }
+                  | "LOAD" ->
+                      Isa.Load
+                        {
+                          bytes =
+                            (match rest with
+                            | b :: _ -> parse_int line "bytes" b
+                            | [] -> errf line "LOAD without size");
+                        }
+                  | "STORE" ->
+                      Isa.Store
+                        {
+                          bytes =
+                            (match rest with
+                            | b :: _ -> parse_int line "bytes" b
+                            | [] -> errf line "STORE without size");
+                        }
+                  | "SEND" ->
+                      Isa.Send
+                        {
+                          dst = parse_int line "dst" (field line f "dst");
+                          bytes = parse_int line "bytes" (field line f "bytes");
+                          tag = parse_int line "tag" (field line f "tag");
+                        }
+                  | "RECV" ->
+                      Isa.Recv
+                        {
+                          src = parse_int line "src" (field line f "src");
+                          bytes = parse_int line "bytes" (field line f "bytes");
+                          tag = parse_int line "tag" (field line f "tag");
+                        }
+                  | k -> errf line "unknown instruction kind %S" k
+                in
+                let buf = Hashtbl.find cores c in
+                buf := { Isa.op; deps; node_id } :: !buf)
+        | _ -> errf line "unparseable line %S" raw)
+    lines;
+  let name, mode, allocator, core_count, num_tags, pipeline_depth =
+    match !header with
+    | Some h -> h
+    | None -> raise (Parse_error { line = 0; message = "missing program header" })
+  in
+  let memory =
+    match !memory with
+    | Some m -> m
+    | None ->
+        {
+          Isa.spill_bytes = 0;
+          global_load_bytes = 0;
+          global_store_bytes = 0;
+          local_peak_bytes = Array.make core_count 0;
+        }
+  in
+  let ags = List.sort compare !ags in
+  let num_ags = List.length ags in
+  let ag_core = Array.make num_ags 0 and ag_xbars = Array.make num_ags 0 in
+  List.iter
+    (fun (id, core, xbars) ->
+      if id < 0 || id >= num_ags then
+        raise (Parse_error { line = 0; message = "non-dense AG ids" });
+      ag_core.(id) <- core;
+      ag_xbars.(id) <- xbars)
+    ags;
+  let core_arrays =
+    Array.init core_count (fun c ->
+        match Hashtbl.find_opt cores c with
+        | Some buf -> Array.of_list (List.rev !buf)
+        | None -> [||])
+  in
+  {
+    Isa.graph_name = name;
+    mode;
+    allocator;
+    core_count;
+    cores = core_arrays;
+    ag_core;
+    ag_xbars;
+    num_tags;
+    pipeline_depth;
+    memory;
+  }
+
+let to_file path t =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (to_string t))
+
+let of_file path =
+  In_channel.with_open_text path (fun ic ->
+      of_string (In_channel.input_all ic))

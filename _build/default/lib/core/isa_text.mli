@@ -1,0 +1,10 @@
+(** Textual serialisation of compiled operation streams (the PUMA-style
+    ISA dump emitted by the dataflow-scheduling stage).  [to_string] and
+    [of_string] round-trip exactly. *)
+
+exception Parse_error of { line : int; message : string }
+
+val to_string : Isa.t -> string
+val of_string : string -> Isa.t
+val to_file : string -> Isa.t -> unit
+val of_file : string -> Isa.t

@@ -1,0 +1,136 @@
+(* On-chip local-memory allocation strategies (Section IV-D3, Fig. 7).
+
+   The schedulers request logical buffers from an allocator as they emit
+   instructions; the strategy decides which requests get fresh blocks:
+
+   - [Naive]    — a new block for every request; nothing is reclaimed
+                  (Fig. 7a: most blocks are written once and never reused).
+   - [Add_reuse]— accumulation targets reuse one accumulator block per
+                  accumulation chain (Fig. 7b); other blocks still pile up.
+   - [Ag_reuse] — additionally, each AG's staging slots are recycled
+                  across operation cycles and dead blocks are reclaimed
+                  (Fig. 7c).
+
+   The allocator tracks per-core demand (current and peak bytes).  When a
+   capacity is given (HT mode: the 64 kB scratchpad), requests exceeding
+   it spill: the overflow is counted as global-memory round-trip traffic
+   — this is what makes the naive strategy pay the extra global accesses
+   of Fig. 10. *)
+
+type strategy = Naive | Add_reuse | Ag_reuse
+
+let strategy_name = function
+  | Naive -> "naive"
+  | Add_reuse -> "ADD-reuse"
+  | Ag_reuse -> "AG-reuse"
+
+let strategy_of_string = function
+  | "naive" -> Naive
+  | "add" | "add-reuse" | "ADD-reuse" -> Add_reuse
+  | "ag" | "ag-reuse" | "AG-reuse" -> Ag_reuse
+  | s -> invalid_arg (Fmt.str "Memalloc.strategy_of_string: %S" s)
+
+(* What kind of buffer a request is for.  Keys are caller-chosen stable
+   identifiers (e.g. the global AG id, or a replica id for accumulators). *)
+type request =
+  | Fresh                      (* plain value block *)
+  | Accumulator of int         (* accumulation chain key *)
+  | Ag_slot of int             (* per-AG staging slot key *)
+
+type core_state = {
+  mutable current : int;
+  mutable peak : int;
+  accumulators : (int, int) Hashtbl.t; (* key -> bytes held *)
+  ag_slots : (int, int) Hashtbl.t;
+}
+
+type t = {
+  strategy : strategy;
+  capacity : int option;
+  cores : core_state array;
+  mutable spill_bytes : int;
+}
+
+let create strategy ~core_count ~capacity =
+  {
+    strategy;
+    capacity;
+    cores =
+      Array.init core_count (fun _ ->
+          {
+            current = 0;
+            peak = 0;
+            accumulators = Hashtbl.create 16;
+            ag_slots = Hashtbl.create 16;
+          });
+    spill_bytes = 0;
+  }
+
+let strategy t = t.strategy
+let peak t ~core = t.cores.(core).peak
+let spill_bytes t = t.spill_bytes
+
+let peaks t = Array.map (fun c -> c.peak) t.cores
+
+(* Grow a core's live set by [bytes]; returns the bytes that had to spill
+   to global memory to respect the capacity. *)
+let grow t core bytes =
+  let c = t.cores.(core) in
+  c.current <- c.current + bytes;
+  if c.current > c.peak then c.peak <- c.current;
+  match t.capacity with
+  | Some cap when c.current > cap ->
+      let overflow = c.current - cap in
+      c.current <- cap;
+      t.spill_bytes <- t.spill_bytes + (2 * overflow);
+      overflow
+  | _ -> 0
+
+(* Request a buffer of [bytes] on [core].  Returns the number of bytes
+   that spilled (0 almost always; HT + naive overflows). *)
+let alloc t ~core ~bytes request =
+  if bytes < 0 then invalid_arg "Memalloc.alloc: negative size";
+  let c = t.cores.(core) in
+  match (request, t.strategy) with
+  | Fresh, _ -> grow t core bytes
+  | Accumulator _, Naive -> grow t core bytes
+  | Accumulator key, (Add_reuse | Ag_reuse) -> (
+      match Hashtbl.find_opt c.accumulators key with
+      | Some held when held >= bytes -> 0
+      | Some held ->
+          Hashtbl.replace c.accumulators key bytes;
+          grow t core (bytes - held)
+      | None ->
+          Hashtbl.add c.accumulators key bytes;
+          grow t core bytes)
+  | Ag_slot _, (Naive | Add_reuse) -> grow t core bytes
+  | Ag_slot key, Ag_reuse -> (
+      match Hashtbl.find_opt c.ag_slots key with
+      | Some held when held >= bytes -> 0
+      | Some held ->
+          Hashtbl.replace c.ag_slots key bytes;
+          grow t core (bytes - held)
+      | None ->
+          Hashtbl.add c.ag_slots key bytes;
+          grow t core bytes)
+
+(* Release a plain block.  Only [Ag_reuse] actually reclaims: the naive
+   and ADD-reuse disciplines of Fig. 7 leave dead blocks in place. *)
+let free t ~core ~bytes =
+  match t.strategy with
+  | Naive | Add_reuse -> ()
+  | Ag_reuse ->
+      let c = t.cores.(core) in
+      c.current <- max 0 (c.current - bytes)
+
+(* Release an accumulation chain once its result has been consumed. *)
+let free_accumulator t ~core ~key =
+  match t.strategy with
+  | Naive -> ()
+  | Add_reuse | Ag_reuse -> (
+      let c = t.cores.(core) in
+      match Hashtbl.find_opt c.accumulators key with
+      | Some held when t.strategy = Ag_reuse ->
+          Hashtbl.remove c.accumulators key;
+          c.current <- max 0 (c.current - held)
+      | _ -> ())

@@ -1,0 +1,31 @@
+(** On-chip local-memory allocation strategies (Section IV-D3, Fig. 7):
+    Naive, ADD-reuse and AG-reuse.  Tracks per-core demand (peak bytes)
+    and, when a capacity is set, overflow traffic to global memory. *)
+
+type strategy = Naive | Add_reuse | Ag_reuse
+
+val strategy_name : strategy -> string
+val strategy_of_string : string -> strategy
+
+type request =
+  | Fresh
+  | Accumulator of int
+  | Ag_slot of int
+
+type t
+
+val create : strategy -> core_count:int -> capacity:int option -> t
+
+val alloc : t -> core:int -> bytes:int -> request -> int
+(** Returns the bytes that spilled to global memory (0 unless a capacity
+    is set and exceeded). *)
+
+val free : t -> core:int -> bytes:int -> unit
+(** Reclaims only under [Ag_reuse]; a no-op for the other disciplines. *)
+
+val free_accumulator : t -> core:int -> key:int -> unit
+
+val strategy : t -> strategy
+val peak : t -> core:int -> int
+val peaks : t -> int array
+val spill_bytes : t -> int

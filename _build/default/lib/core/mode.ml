@@ -1,0 +1,19 @@
+(* The two compilation modes (Section IV-A): High Throughput pipelines at
+   inference granularity (layers process different inferences, traffic
+   goes through global memory); Low Latency pipelines at row granularity
+   (producers stream rows straight to consumers). *)
+
+type t = High_throughput | Low_latency
+
+let to_string = function
+  | High_throughput -> "HT"
+  | Low_latency -> "LL"
+
+let of_string = function
+  | "HT" | "ht" | "high_throughput" -> High_throughput
+  | "LL" | "ll" | "low_latency" -> Low_latency
+  | s -> invalid_arg (Fmt.str "Mode.of_string: %S (expected HT or LL)" s)
+
+let all = [ High_throughput; Low_latency ]
+
+let pp ppf m = Fmt.string ppf (to_string m)

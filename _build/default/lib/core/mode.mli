@@ -1,0 +1,8 @@
+(** The two compilation modes (Section IV-A). *)
+
+type t = High_throughput | Low_latency
+
+val to_string : t -> string
+val of_string : string -> t
+val all : t list
+val pp : t Fmt.t

@@ -1,0 +1,37 @@
+(** PUMA-like baseline replication and mapping (Section V-A2):
+    pipeline-balancing replication plus sequential first-fit core
+    mapping.  Produces a {!Chromosome.t} so the same scheduler and
+    simulator run downstream. *)
+
+val puma_replication :
+  Partition.table -> core_count:int -> budget_fraction:float -> int array
+(** PUMA's heuristic: rate-matching replication allocated front to back
+    (early layers first) until the crossbar budget is exhausted. *)
+
+val balanced_replication :
+  Partition.table -> core_count:int -> budget_fraction:float -> int array
+(** Stronger bottleneck-aware variant, kept as an ablation. *)
+
+val sequential_mapping :
+  Partition.table ->
+  int array ->
+  core_count:int ->
+  max_node_num_in_core:int ->
+  Chromosome.t
+
+val build :
+  ?budget_fraction:float ->
+  Partition.table ->
+  core_count:int ->
+  max_node_num_in_core:int ->
+  Chromosome.t
+(** PUMA replication + sequential mapping.  Raises
+    {!Chromosome.Infeasible} when the network does not fit. *)
+
+val build_balanced :
+  ?budget_fraction:float ->
+  Partition.table ->
+  core_count:int ->
+  max_node_num_in_core:int ->
+  Chromosome.t
+(** Balanced replication + sequential mapping (ablation variant). *)

@@ -1,0 +1,44 @@
+(* The (r_d, c_d) last-needed-input formulas of Section IV-D2: how much of
+   a provider's output a node must have received before it can produce its
+   own output row/column.  Row indices are 1-based as in the paper. *)
+
+(* Index of the last input row needed to compute output row [out_row]. *)
+let rows_needed (op : Nnir.Op.t) ~out_row ~in_rows =
+  if out_row < 1 then invalid_arg "Receptive.rows_needed: out_row < 1";
+  match op with
+  | Nnir.Op.Conv c ->
+      min in_rows (c.kernel_h + (c.stride_h * (out_row - 1)) - c.pad.top)
+  | Nnir.Op.Pool p when not p.global ->
+      min in_rows (p.kernel_h + (p.stride_h * (out_row - 1)) - p.pad.top)
+  | Nnir.Op.Pool _ (* global *) | Nnir.Op.Fully_connected _ | Nnir.Op.Flatten
+  | Nnir.Op.Softmax ->
+      in_rows
+  | Nnir.Op.Eltwise _ | Nnir.Op.Concat | Nnir.Op.Activation _
+  | Nnir.Op.Identity ->
+      min in_rows out_row
+  | Nnir.Op.Input _ -> 0
+
+(* Index of the last input column needed for output column [out_col]. *)
+let cols_needed (op : Nnir.Op.t) ~out_col ~in_cols =
+  if out_col < 1 then invalid_arg "Receptive.cols_needed: out_col < 1";
+  match op with
+  | Nnir.Op.Conv c ->
+      min in_cols (c.kernel_w + (c.stride_w * (out_col - 1)) - c.pad.left)
+  | Nnir.Op.Pool p when not p.global ->
+      min in_cols (p.kernel_w + (p.stride_w * (out_col - 1)) - p.pad.left)
+  | Nnir.Op.Pool _ | Nnir.Op.Fully_connected _ | Nnir.Op.Flatten
+  | Nnir.Op.Softmax ->
+      in_cols
+  | Nnir.Op.Eltwise _ | Nnir.Op.Concat | Nnir.Op.Activation _
+  | Nnir.Op.Identity ->
+      min in_cols out_col
+  | Nnir.Op.Input _ -> 0
+
+(* Waiting percentage W of Section IV-C2: the fraction of the provider's
+   output that must exist before this node starts (its first output
+   row).  0 for pass-through ops, 1 for FC/global ops. *)
+let waiting_fraction (op : Nnir.Op.t) ~in_rows =
+  if in_rows <= 0 then 0.0
+  else
+    let needed = max 0 (rows_needed op ~out_row:1 ~in_rows) in
+    float_of_int needed /. float_of_int in_rows

@@ -1,0 +1,10 @@
+(** The paper's (r_d, c_d) formulas (Section IV-D2): last input row /
+    column a node needs before it can emit a given output row / column.
+    Indices are 1-based. *)
+
+val rows_needed : Nnir.Op.t -> out_row:int -> in_rows:int -> int
+val cols_needed : Nnir.Op.t -> out_col:int -> in_cols:int -> int
+
+val waiting_fraction : Nnir.Op.t -> in_rows:int -> float
+(** W of Section IV-C2: fraction of provider output required before the
+    node's first output can be computed. *)

@@ -1,0 +1,55 @@
+(* Human-readable compilation reports. *)
+
+let pp_stage_seconds ppf (s : Compile.stage_seconds) =
+  Fmt.pf ppf
+    "partitioning %.3fs, replicating+mapping %.3fs, scheduling %.3fs (total \
+     %.3fs)"
+    s.Compile.partitioning s.Compile.replicating_mapping s.Compile.scheduling
+    s.Compile.total
+
+let pp_replication ppf (result : Compile.t) =
+  let table = result.Compile.table in
+  Fmt.pf ppf "@[<v>";
+  Array.iteri
+    (fun i (info : Partition.info) ->
+      Fmt.pf ppf "%-24s R=%-3d AGs=%-4d windows=%d@," info.Partition.name
+        (Chromosome.replication result.Compile.chromosome i)
+        (Chromosome.total_ags result.Compile.chromosome i)
+        info.Partition.windows)
+    (Partition.entries table);
+  Fmt.pf ppf "@]"
+
+let pp_memory ppf (m : Isa.memory_report) =
+  let peaks = m.Isa.local_peak_bytes in
+  let max_peak = Array.fold_left max 0 peaks in
+  let used = Array.fold_left (fun acc p -> if p > 0 then acc + 1 else acc) 0 peaks in
+  let avg =
+    if used = 0 then 0.0
+    else
+      float_of_int (Array.fold_left ( + ) 0 peaks) /. float_of_int used
+  in
+  Fmt.pf ppf
+    "local peak %.1f kB (max) / %.1f kB (avg over %d active cores), global \
+     load %.1f kB, store %.1f kB, spill %.1f kB"
+    (float_of_int max_peak /. 1024.)
+    (avg /. 1024.) used
+    (float_of_int m.Isa.global_load_bytes /. 1024.)
+    (float_of_int m.Isa.global_store_bytes /. 1024.)
+    (float_of_int m.Isa.spill_bytes /. 1024.)
+
+let pp_summary ppf (result : Compile.t) =
+  let p = result.Compile.program in
+  Fmt.pf ppf
+    "@[<v>compiled %s [%a, %s, parallelism %d, %d cores]@,\
+    \  fitness estimate: %.1f us@,\
+    \  program: %d instrs (%d MVM bursts, %d MVM windows, %d messages)@,\
+    \  memory: %a@,\
+    \  stages: %a@]"
+    (Nnir.Graph.name result.Compile.graph)
+    Mode.pp result.Compile.options.Compile.mode
+    (Compile.mapping_strategy_name result.Compile.options.Compile.strategy)
+    result.Compile.options.Compile.parallelism result.Compile.core_count
+    (result.Compile.fitness /. 1000.)
+    (Isa.num_instrs p) (Isa.num_mvms p)
+    (Isa.total_mvm_windows p) p.Isa.num_tags pp_memory p.Isa.memory
+    pp_stage_seconds result.Compile.stage_seconds

@@ -1,0 +1,19 @@
+(** Deterministic splitmix64 PRNG used by the genetic algorithm, so a
+    given seed always yields the same compilation result. *)
+
+type t
+
+val create : seed:int -> t
+val copy : t -> t
+val next_int64 : t -> int64
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. *)
+
+val float : t -> float -> float
+val bool : t -> bool
+val range : t -> int -> int -> int
+(** [range t lo hi] is uniform in [\[lo, hi\]] inclusive. *)
+
+val pick : t -> 'a array -> 'a
+val pick_list : t -> 'a list -> 'a
+val shuffle : t -> 'a array -> unit

@@ -1,0 +1,85 @@
+(* Helpers shared by the HT and LL dataflow schedulers. *)
+
+let bpe = Nnir.Tensor.bytes_per_element
+
+(* Activation nodes whose producer is a weighted node are fused into the
+   producer's accumulation epilogue (Algorithm 1, line 8).  Returns
+   (kind per weighted node id, set of fused activation node ids). *)
+let fused_activations (g : Nnir.Graph.t) =
+  let by_producer = Hashtbl.create 64 in
+  let fused = Hashtbl.create 64 in
+  Nnir.Graph.iter
+    (fun node ->
+      match (Nnir.Node.op node, Nnir.Node.inputs node) with
+      | Nnir.Op.Activation kind, [ src ] ->
+          let producer = Nnir.Graph.node g src in
+          if Nnir.Node.is_weighted producer then begin
+            Hashtbl.replace by_producer src kind;
+            Hashtbl.replace fused (Nnir.Node.id node) ()
+          end
+      | _ -> ())
+    g;
+  (by_producer, fused)
+
+(* Fresh input bytes a conv/FC window consumes, accounting for the
+   overlap between consecutive sliding windows: a new window adds
+   k_h x stride_w x C_in elements (the new columns), clamped to the full
+   im2col row.  FC windows read everything. *)
+let fresh_input_bytes_per_window (g : Nnir.Graph.t) (info : Partition.info) =
+  let node = Nnir.Graph.node g info.Partition.node_id in
+  match Nnir.Node.op node with
+  | Nnir.Op.Conv c ->
+      let cin =
+        match Nnir.Node.inputs node with
+        | [ src ] ->
+            Nnir.Tensor.channels
+              (Nnir.Node.output_shape (Nnir.Graph.node g src))
+        | _ -> 1
+      in
+      min info.Partition.weight_rows (c.kernel_h * c.stride_w * cin) * bpe
+  | _ -> info.Partition.weight_rows * bpe
+
+(* Fraction of a replica's input slice held by [ags_on_core] of its
+   [ags_per_replica] AGs. *)
+let slice_bytes ~total_bytes ~ags_on_core ~ags_per_replica =
+  if ags_on_core >= ags_per_replica then total_bytes
+  else (total_bytes * ags_on_core + ags_per_replica - 1) / ags_per_replica
+
+(* The node a non-weighted operation's work is co-located with: its
+   nearest weighted ancestors (Section IV-D2).  Empty for input-fed
+   chains. *)
+let anchor_ancestors = Nnir.Graph.weighted_ancestors
+
+(* Longest chain of weighted layers — the inter-layer pipeline depth. *)
+let pipeline_depth (g : Nnir.Graph.t) =
+  let n = Nnir.Graph.num_nodes g in
+  let depth = Array.make n 0 in
+  let deepest = ref 0 in
+  Array.iter
+    (fun id ->
+      let node = Nnir.Graph.node g id in
+      let from_providers =
+        List.fold_left
+          (fun acc src -> max acc depth.(src))
+          0 (Nnir.Node.inputs node)
+      in
+      depth.(id) <-
+        from_providers + (if Nnir.Node.is_weighted node then 1 else 0);
+      if depth.(id) > !deepest then deepest := depth.(id))
+    (Nnir.Graph.topo_order g);
+  max 1 !deepest
+
+(* Output row geometry of any node: (rows, bytes per row). *)
+let row_geometry (node : Nnir.Node.t) =
+  let shape = Nnir.Node.output_shape node in
+  if Nnir.Tensor.is_chw shape then
+    ( Nnir.Tensor.height shape,
+      Nnir.Tensor.channels shape * Nnir.Tensor.width shape * bpe )
+  else (1, Nnir.Tensor.num_elements shape * bpe)
+
+(* Per-output-row VFU work of a non-weighted node. *)
+let row_vec_elements (g : Nnir.Graph.t) (node : Nnir.Node.t) =
+  let rows, _ = row_geometry node in
+  let stats = Nnir.Stats.of_node g node in
+  let work = max stats.Nnir.Stats.vector_ops stats.Nnir.Stats.output_elements in
+  (work + rows - 1) / rows

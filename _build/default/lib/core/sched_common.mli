@@ -1,0 +1,31 @@
+(** Helpers shared by the HT and LL dataflow schedulers. *)
+
+val bpe : int
+(** Bytes per element (16-bit fixed point). *)
+
+val fused_activations :
+  Nnir.Graph.t -> (Nnir.Node.id, Nnir.Op.activation_kind) Hashtbl.t
+  * (Nnir.Node.id, unit) Hashtbl.t
+(** Activations whose producer is a weighted node are fused into the
+    producer's accumulation epilogue (Algorithm 1, line 8): (kind by
+    producer id, set of fused activation node ids). *)
+
+val fresh_input_bytes_per_window : Nnir.Graph.t -> Partition.info -> int
+(** New input bytes a sliding window consumes, accounting for overlap
+    between consecutive windows. *)
+
+val slice_bytes : total_bytes:int -> ags_on_core:int -> ags_per_replica:int -> int
+(** Fraction of a replica's input held by a subset of its AGs. *)
+
+val anchor_ancestors : Nnir.Graph.t -> Nnir.Node.id -> Nnir.Node.id list
+(** Nearest weighted ancestors — where non-weighted work is co-located
+    (Section IV-D2). *)
+
+val pipeline_depth : Nnir.Graph.t -> int
+(** Longest chain of weighted layers: the inter-layer pipeline depth. *)
+
+val row_geometry : Nnir.Node.t -> int * int
+(** (output rows, bytes per output row). *)
+
+val row_vec_elements : Nnir.Graph.t -> Nnir.Node.t -> int
+(** Per-output-row VFU work of a non-weighted node. *)

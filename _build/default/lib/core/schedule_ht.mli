@@ -1,0 +1,11 @@
+(** High-Throughput dataflow scheduling — Algorithm 1 of the paper.
+    Inference-granular inter-layer pipeline: all cross-layer traffic
+    goes through global memory, windows are processed in transfer
+    batches of [mvms_per_transfer]. *)
+
+type options = { mvms_per_transfer : int; strategy : Memalloc.strategy }
+
+val default_options : options
+(** 2 MVMs per transfer (the paper's Fig. 10 setting), AG-reuse. *)
+
+val schedule : ?options:options -> Layout.t -> Isa.t

@@ -1,0 +1,12 @@
+(** Low-Latency dataflow scheduling (Section IV-D2): row-chunk-granular
+    software pipeline driven by the (r_d, c_d) receptive-field
+    conditions, with column-wise replica cooperation.  Intermediate data
+    never leaves the chip. *)
+
+type options = { strategy : Memalloc.strategy; row_chunks : int }
+
+val default_options : options
+(** AG-reuse, 4 column chunks per output row (widened automatically so
+    every replica owns at least one chunk). *)
+
+val schedule : ?options:options -> Layout.t -> Isa.t

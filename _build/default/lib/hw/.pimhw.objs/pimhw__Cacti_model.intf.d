@@ -1,0 +1,1 @@
+lib/hw/cacti_model.mli: Fmt

@@ -1,0 +1,1 @@
+lib/hw/energy_model.ml: Cacti_model Config Fmt Orion_model

@@ -1,0 +1,1 @@
+lib/hw/energy_model.mli: Config Fmt

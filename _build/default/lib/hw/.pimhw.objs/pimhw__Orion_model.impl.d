@@ -1,0 +1,1 @@
+lib/hw/orion_model.ml: Fmt

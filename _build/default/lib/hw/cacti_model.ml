@@ -1,0 +1,48 @@
+(* CACTI-like analytic SRAM model.
+
+   CACTI 7 itself is a large circuit-level estimator; the compiler and
+   simulator only need smooth capacity scaling of access energy, leakage
+   power, area and latency.  We use the standard first-order laws —
+   wordline/bitline energy and latency grow with the square root of
+   capacity, leakage and area grow linearly — and calibrate the constants
+   against the paper's Table I points (64 kB local scratchpad: 18 mW,
+   0.085 mm^2; 4 MB global buffer: 257.72 mW, 2.42 mm^2). *)
+
+type result = {
+  capacity_bytes : int;
+  read_energy_pj_per_byte : float;
+  write_energy_pj_per_byte : float;
+  leakage_power_mw : float;
+  area_mm2 : float;
+  access_latency_ns : float;
+}
+
+(* Calibration anchors (64 kB scratchpad). *)
+let anchor_bytes = 64.0 *. 1024.0
+let anchor_read_pj_per_byte = 0.5
+let anchor_leakage_mw = 18.0 *. 0.30 (* static fraction of Table I power *)
+let anchor_area_mm2 = 0.085
+let anchor_latency_ns = 1.0
+
+let evaluate ~capacity_bytes =
+  if capacity_bytes <= 0 then
+    invalid_arg "Cacti_model.evaluate: non-positive capacity";
+  let c = float_of_int capacity_bytes in
+  let sqrt_ratio = sqrt (c /. anchor_bytes) in
+  let linear_ratio = c /. anchor_bytes in
+  {
+    capacity_bytes;
+    read_energy_pj_per_byte = anchor_read_pj_per_byte *. sqrt_ratio;
+    (* SRAM writes cost slightly more than reads (bitline full swing). *)
+    write_energy_pj_per_byte = anchor_read_pj_per_byte *. sqrt_ratio *. 1.2;
+    leakage_power_mw = anchor_leakage_mw *. linear_ratio;
+    area_mm2 = anchor_area_mm2 *. linear_ratio;
+    access_latency_ns = anchor_latency_ns *. sqrt_ratio;
+  }
+
+let pp ppf r =
+  Fmt.pf ppf
+    "SRAM %d kB: read %.3f pJ/B, write %.3f pJ/B, leak %.2f mW, %.3f mm2, \
+     %.2f ns"
+    (r.capacity_bytes / 1024) r.read_energy_pj_per_byte
+    r.write_energy_pj_per_byte r.leakage_power_mw r.area_mm2 r.access_latency_ns

@@ -1,0 +1,16 @@
+(** CACTI-like analytic SRAM model: first-order capacity-scaling laws
+    calibrated against the paper's Table I memory points.  Used for the
+    local scratchpads and the global buffer, and for design-space sweeps
+    beyond Table I. *)
+
+type result = {
+  capacity_bytes : int;
+  read_energy_pj_per_byte : float;
+  write_energy_pj_per_byte : float;
+  leakage_power_mw : float;
+  area_mm2 : float;
+  access_latency_ns : float;
+}
+
+val evaluate : capacity_bytes:int -> result
+val pp : result Fmt.t

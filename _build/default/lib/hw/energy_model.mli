@@ -1,0 +1,22 @@
+(** Per-event dynamic energies and per-component static powers derived
+    from Table I via the CACTI-like and Orion-like models.
+    Units: pJ for events, mW for static powers (mW x ns = pJ). *)
+
+type t = {
+  config : Config.t;
+  mvm_energy_pj : float;
+  vec_energy_pj_per_element : float;
+  local_read_pj_per_byte : float;
+  local_write_pj_per_byte : float;
+  global_read_pj_per_byte : float;
+  global_write_pj_per_byte : float;
+  router_energy_pj_per_flit_hop : float;
+  core_static_mw : float;
+  router_static_mw : float;
+  global_memory_static_mw : float;
+  hyper_transport_static_mw : float;
+}
+
+val create : Config.t -> t
+val message_energy_pj : t -> hops:int -> bytes:int -> float
+val pp : t Fmt.t

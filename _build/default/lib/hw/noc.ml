@@ -1,0 +1,79 @@
+(* 2D-mesh network-on-chip topology.
+
+   Cores are laid out row-major on the smallest near-square mesh that
+   holds them (36 cores -> 6x6, as in PUMA).  Routing is deterministic
+   XY (dimension-ordered), which is what the simulator charges hops and
+   link occupancy against. *)
+
+type t = { cols : int; rows : int; core_count : int }
+
+let create ~core_count =
+  if core_count <= 0 then invalid_arg "Noc.create: core_count <= 0";
+  let cols = int_of_float (ceil (sqrt (float_of_int core_count))) in
+  let rows = (core_count + cols - 1) / cols in
+  { cols; rows; core_count }
+
+let cols t = t.cols
+let rows t = t.rows
+let core_count t = t.core_count
+
+let coords t core =
+  if core < 0 || core >= t.core_count then
+    invalid_arg (Fmt.str "Noc.coords: core %d out of range" core);
+  (core mod t.cols, core / t.cols)
+
+let core_at t ~x ~y =
+  let core = (y * t.cols) + x in
+  if x < 0 || x >= t.cols || y < 0 || core >= t.core_count then None
+  else Some core
+
+let hops t ~src ~dst =
+  let sx, sy = coords t src and dx, dy = coords t dst in
+  abs (sx - dx) + abs (sy - dy)
+
+(* A link is identified by its endpoint pair in traversal direction. *)
+type link = { from_core : int; to_core : int }
+
+(* XY routing: travel along X first, then along Y. *)
+let route t ~src ~dst =
+  let sx, sy = coords t src and dx, dy = coords t dst in
+  let step x = if x > 0 then 1 else -1 in
+  let rec walk_x x acc =
+    if x = dx then walk_y x sy acc
+    else
+      let x' = x + step (dx - x) in
+      let from_core = (sy * t.cols) + x and to_core = (sy * t.cols) + x' in
+      walk_x x' ({ from_core; to_core } :: acc)
+  and walk_y x y acc =
+    if y = dy then List.rev acc
+    else
+      let y' = y + step (dy - y) in
+      let from_core = (y * t.cols) + x and to_core = (y' * t.cols) + x in
+      walk_y x y' ({ from_core; to_core } :: acc)
+  in
+  walk_x sx []
+
+(* Distance from a core to the global-memory port.  The global memory sits
+   at the mesh edge next to core 0 (top-left), one extra hop away. *)
+let hops_to_global_memory t ~core =
+  let x, y = coords t core in
+  x + y + 1
+
+let average_hops t =
+  if t.core_count = 1 then 0.0
+  else begin
+    let total = ref 0 and pairs = ref 0 in
+    for src = 0 to t.core_count - 1 do
+      for dst = 0 to t.core_count - 1 do
+        if src <> dst then begin
+          total := !total + hops t ~src ~dst;
+          incr pairs
+        end
+      done
+    done;
+    float_of_int !total /. float_of_int !pairs
+  end
+
+let pp ppf t =
+  Fmt.pf ppf "mesh %dx%d (%d cores, avg %.2f hops)" t.cols t.rows t.core_count
+    (average_hops t)

@@ -1,0 +1,25 @@
+(** 2D-mesh NoC topology with deterministic XY routing. *)
+
+type t
+
+val create : core_count:int -> t
+(** Smallest near-square mesh holding [core_count] cores, row-major. *)
+
+val cols : t -> int
+val rows : t -> int
+val core_count : t -> int
+
+val coords : t -> int -> int * int
+val core_at : t -> x:int -> y:int -> int option
+val hops : t -> src:int -> dst:int -> int
+
+type link = { from_core : int; to_core : int }
+
+val route : t -> src:int -> dst:int -> link list
+(** XY route; empty list when [src = dst]. *)
+
+val hops_to_global_memory : t -> core:int -> int
+(** Hops from a core to the global-memory port at the top-left edge. *)
+
+val average_hops : t -> float
+val pp : t Fmt.t

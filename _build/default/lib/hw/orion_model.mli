@@ -1,0 +1,21 @@
+(** Orion-like analytic NoC router model, calibrated against Table I.
+    Provides per-flit-hop traversal energy, leakage power and area. *)
+
+type params = {
+  ports : int;
+  virtual_channels : int;
+  buffer_depth_flits : int;
+  flit_bits : int;
+}
+
+val default_params : params
+
+type result = {
+  params : params;
+  energy_per_flit_pj : float;
+  leakage_power_mw : float;
+  area_mm2 : float;
+}
+
+val evaluate : ?params:params -> unit -> result
+val pp : result Fmt.t

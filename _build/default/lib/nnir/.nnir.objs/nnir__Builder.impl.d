@@ -1,0 +1,1 @@
+lib/nnir/builder.ml: Fmt Graph Hashtbl List Node Op Tensor

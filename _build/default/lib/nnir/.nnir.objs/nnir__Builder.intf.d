@@ -1,0 +1,1 @@
+lib/nnir/builder.mli: Graph Node Op Tensor

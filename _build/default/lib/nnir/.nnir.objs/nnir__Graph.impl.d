@@ -1,0 +1,1 @@
+lib/nnir/graph.ml: Array Buffer Fmt Hashtbl List Node Op Queue Shape_infer

@@ -1,0 +1,1 @@
+lib/nnir/graph.mli: Fmt Node

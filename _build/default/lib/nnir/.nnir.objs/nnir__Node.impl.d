@@ -1,0 +1,1 @@
+lib/nnir/node.ml: Fmt Op Tensor

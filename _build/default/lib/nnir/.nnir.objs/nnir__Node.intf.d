@@ -1,0 +1,1 @@
+lib/nnir/node.mli: Fmt Op Tensor

@@ -1,0 +1,1 @@
+lib/nnir/op.mli: Fmt Tensor

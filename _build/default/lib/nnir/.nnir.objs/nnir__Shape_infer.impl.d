@@ -1,0 +1,1 @@
+lib/nnir/shape_infer.ml: Fmt List Op Tensor

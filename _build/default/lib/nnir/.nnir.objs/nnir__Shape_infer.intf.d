@@ -1,0 +1,1 @@
+lib/nnir/shape_infer.mli: Op Tensor

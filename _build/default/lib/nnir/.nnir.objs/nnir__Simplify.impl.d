@@ -1,0 +1,1 @@
+lib/nnir/simplify.ml: Array Graph List Node Op

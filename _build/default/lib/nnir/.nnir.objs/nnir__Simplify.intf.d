@@ -1,0 +1,1 @@
+lib/nnir/simplify.mli: Graph

@@ -1,0 +1,1 @@
+lib/nnir/stats.ml: Array Fmt Graph List Node Op Tensor

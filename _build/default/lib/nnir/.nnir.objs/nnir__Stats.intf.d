@@ -1,0 +1,1 @@
+lib/nnir/stats.mli: Fmt Graph Node

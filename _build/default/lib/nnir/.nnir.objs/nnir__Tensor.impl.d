@@ -1,0 +1,1 @@
+lib/nnir/tensor.ml: Array Fmt

@@ -1,0 +1,1 @@
+lib/nnir/text_format.ml: Array Buffer Fmt Fun Graph In_channel List Node Op String Tensor

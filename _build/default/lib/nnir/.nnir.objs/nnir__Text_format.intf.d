@@ -1,0 +1,1 @@
+lib/nnir/text_format.mli: Graph

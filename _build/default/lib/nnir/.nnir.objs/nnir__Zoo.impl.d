@@ -1,0 +1,1 @@
+lib/nnir/zoo.ml: Builder Fmt Graph List Op String Tensor

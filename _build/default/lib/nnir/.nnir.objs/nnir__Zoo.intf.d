@@ -1,0 +1,1 @@
+lib/nnir/zoo.mli: Graph

@@ -1,0 +1,93 @@
+(* Output-shape inference for every operator of the IR.
+
+   The arithmetic follows the usual framework conventions: floor division
+   for convolution output extents, selectable floor/ceil for pooling
+   (googlenet's pools use ceil mode). *)
+
+exception Shape_error of string
+
+let errf fmt = Fmt.kstr (fun s -> raise (Shape_error s)) fmt
+
+let conv_extent ~in_extent ~kernel ~stride ~pad_lo ~pad_hi =
+  let padded = in_extent + pad_lo + pad_hi in
+  if kernel > padded then
+    errf "kernel %d larger than padded input extent %d" kernel padded;
+  (padded - kernel) / stride + 1
+
+let pool_extent ~ceil_mode ~in_extent ~kernel ~stride ~pad_lo ~pad_hi =
+  let padded = in_extent + pad_lo + pad_hi in
+  if kernel > padded then
+    errf "pool kernel %d larger than padded input extent %d" kernel padded;
+  if ceil_mode then (padded - kernel + stride - 1) / stride + 1
+  else (padded - kernel) / stride + 1
+
+let require_chw ~what s =
+  if not (Tensor.is_chw s) then
+    errf "%s expects a CHW input, got %a" what Tensor.pp s
+
+let infer (op : Op.t) (input_shapes : Tensor.shape list) : Tensor.shape =
+  match (op, input_shapes) with
+  | Op.Input s, [] ->
+      Tensor.validate s;
+      s
+  | Op.Input _, _ -> errf "input node must have no producers"
+  | Op.Conv c, [ s ] ->
+      require_chw ~what:"conv" s;
+      let cin = Tensor.channels s in
+      if c.groups <= 0 then errf "conv groups must be positive";
+      if cin mod c.groups <> 0 then
+        errf "conv input channels %d not divisible by groups %d" cin c.groups;
+      if c.out_channels mod c.groups <> 0 then
+        errf "conv output channels %d not divisible by groups %d" c.out_channels
+          c.groups;
+      let h =
+        conv_extent ~in_extent:(Tensor.height s) ~kernel:c.kernel_h
+          ~stride:c.stride_h ~pad_lo:c.pad.top ~pad_hi:c.pad.bottom
+      and w =
+        conv_extent ~in_extent:(Tensor.width s) ~kernel:c.kernel_w
+          ~stride:c.stride_w ~pad_lo:c.pad.left ~pad_hi:c.pad.right
+      in
+      Tensor.chw ~channels:c.out_channels ~height:h ~width:w
+  | Op.Fully_connected f, [ s ] ->
+      if Tensor.num_elements s <= 0 then errf "fc input is empty";
+      Tensor.vector f.out_features
+  | Op.Pool p, [ s ] ->
+      require_chw ~what:"pool" s;
+      if p.global then
+        Tensor.chw ~channels:(Tensor.channels s) ~height:1 ~width:1
+      else
+        let h =
+          pool_extent ~ceil_mode:p.ceil_mode ~in_extent:(Tensor.height s)
+            ~kernel:p.kernel_h ~stride:p.stride_h ~pad_lo:p.pad.top
+            ~pad_hi:p.pad.bottom
+        and w =
+          pool_extent ~ceil_mode:p.ceil_mode ~in_extent:(Tensor.width s)
+            ~kernel:p.kernel_w ~stride:p.stride_w ~pad_lo:p.pad.left
+            ~pad_hi:p.pad.right
+        in
+        Tensor.chw ~channels:(Tensor.channels s) ~height:h ~width:w
+  | Op.Activation _, [ s ] | Op.Softmax, [ s ] | Op.Identity, [ s ] -> s
+  | Op.Eltwise _, (first :: _ :: _ as shapes) ->
+      List.iteri
+        (fun i s ->
+          if not (Tensor.equal s first) then
+            errf "eltwise input %d has shape %a, expected %a" i Tensor.pp s
+              Tensor.pp first)
+        shapes;
+      first
+  | Op.Concat, (first :: _ :: _ as shapes) ->
+      require_chw ~what:"concat" first;
+      let h = Tensor.height first and w = Tensor.width first in
+      let channels =
+        List.fold_left
+          (fun acc s ->
+            require_chw ~what:"concat" s;
+            if Tensor.height s <> h || Tensor.width s <> w then
+              errf "concat spatial mismatch: %a vs %dx%d" Tensor.pp s h w;
+            acc + Tensor.channels s)
+          0 shapes
+      in
+      Tensor.chw ~channels ~height:h ~width:w
+  | Op.Flatten, [ s ] -> Tensor.vector (Tensor.flattened_features s)
+  | op, shapes ->
+      errf "%s applied to %d inputs" (Op.kind_name op) (List.length shapes)

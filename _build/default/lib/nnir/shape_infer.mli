@@ -1,0 +1,22 @@
+(** Output-shape inference for IR operators. *)
+
+exception Shape_error of string
+
+val infer : Op.t -> Tensor.shape list -> Tensor.shape
+(** [infer op input_shapes] computes the output shape of [op] applied to
+    producers with the given output shapes.
+    Raises {!Shape_error} on arity or dimension mismatches. *)
+
+val conv_extent :
+  in_extent:int -> kernel:int -> stride:int -> pad_lo:int -> pad_hi:int -> int
+(** Floor-mode output extent of a convolution along one axis (exposed for
+    the scheduler's receptive-field computations and for tests). *)
+
+val pool_extent :
+  ceil_mode:bool ->
+  in_extent:int ->
+  kernel:int ->
+  stride:int ->
+  pad_lo:int ->
+  pad_hi:int ->
+  int

@@ -1,0 +1,106 @@
+(* Graph canonicalisation: the rewrites a frontend would run before
+   handing the model to the compiler backend.
+
+   - [Identity] nodes (inference-time dropout, folded batch-norm) are
+     removed and their consumers rewired to the producer;
+   - consecutive [Flatten] nodes collapse into one;
+   - [Flatten] feeding only [Fully_connected] consumers is removed (FC
+     flattens implicitly);
+   - dead nodes (no path to an output) are dropped.
+
+   The result is a fresh graph with dense ids; [mapping] reports where
+   every surviving old node went, so callers can translate node
+   references. *)
+
+type result = {
+  graph : Graph.t;
+  mapping : int array;      (* old id -> new id, or -1 if removed *)
+  removed : int;
+}
+
+(* A node is erasable when it only forwards its single input. *)
+let erasable (g : Graph.t) (node : Node.t) =
+  match (Node.op node, Node.inputs node) with
+  | Op.Identity, [ _ ] -> true
+  | Op.Flatten, [ src ] -> (
+      (* collapse flatten-of-flatten and flatten-before-FC *)
+      match Node.op (Graph.node g src) with
+      | Op.Flatten -> true
+      | _ ->
+          let consumers = Graph.consumers g (Node.id node) in
+          consumers <> []
+          && List.for_all
+               (fun c ->
+                 match Node.op (Graph.node g c) with
+                 | Op.Fully_connected _ -> true
+                 | _ -> false)
+               consumers)
+  | _ -> false
+
+let run_once (g : Graph.t) =
+  let n = Graph.num_nodes g in
+  (* resolve each node to its surviving representative *)
+  let forward = Array.make n (-1) in
+  let rec resolve id =
+    let node = Graph.node g id in
+    if erasable g node then resolve (List.hd (Node.inputs node)) else id
+  in
+  for id = 0 to n - 1 do
+    forward.(id) <- resolve id
+  done;
+  (* liveness: walk back from outputs through resolved edges *)
+  let live = Array.make n false in
+  let rec mark id =
+    let id = forward.(id) in
+    if not live.(id) then begin
+      live.(id) <- true;
+      List.iter mark (Node.inputs (Graph.node g id))
+    end
+  in
+  List.iter mark (Graph.outputs g);
+  (* rebuild with dense ids *)
+  let mapping = Array.make n (-1) in
+  let next = ref 0 in
+  for id = 0 to n - 1 do
+    if live.(id) && forward.(id) = id then begin
+      mapping.(id) <- !next;
+      incr next
+    end
+  done;
+  let nodes = ref [] in
+  for id = 0 to n - 1 do
+    if mapping.(id) >= 0 then begin
+      let node = Graph.node g id in
+      let inputs =
+        List.map (fun src -> mapping.(forward.(src))) (Node.inputs node)
+      in
+      nodes :=
+        Node.make ~id:mapping.(id) ~name:(Node.name node) ~op:(Node.op node)
+          ~inputs
+        :: !nodes
+    end
+  done;
+  let graph = Graph.create ~name:(Graph.name g) (List.rev !nodes) in
+  (* report where erased/dead nodes went (erased -> representative) *)
+  for id = 0 to n - 1 do
+    if mapping.(id) < 0 && live.(forward.(id)) then
+      mapping.(id) <- mapping.(forward.(id))
+  done;
+  { graph; mapping; removed = n - Graph.num_nodes graph }
+
+(* Iterate to a fixpoint (e.g. flatten-of-flatten exposes a
+   flatten-before-FC only on the next round), composing the mappings. *)
+let run (g : Graph.t) =
+  let rec go acc =
+    let step = run_once acc.graph in
+    if step.removed = 0 then acc
+    else
+      let mapping =
+        Array.map
+          (fun id -> if id < 0 then -1 else step.mapping.(id))
+          acc.mapping
+      in
+      go { graph = step.graph; mapping; removed = acc.removed + step.removed }
+  in
+  let first = run_once g in
+  go first

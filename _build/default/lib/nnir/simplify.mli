@@ -1,0 +1,11 @@
+(** Graph canonicalisation: removes [Identity] forwarding nodes,
+    collapses redundant [Flatten]s (FC flattens implicitly) and drops
+    dead nodes.  Output shapes are preserved for every surviving node. *)
+
+type result = {
+  graph : Graph.t;
+  mapping : int array;  (** old id -> new id; [-1] only for dead nodes *)
+  removed : int;
+}
+
+val run : Graph.t -> result

@@ -1,0 +1,102 @@
+(* Static workload statistics: multiply-accumulates, weight counts and
+   activation volumes per node and per graph.  These drive the energy
+   model's sanity checks and appear in compilation reports. *)
+
+type node_stats = {
+  node_id : Node.id;
+  name : string;
+  kind : string;
+  macs : int;            (* multiply-accumulate operations per inference *)
+  weight_elements : int; (* stored weight elements (incl. bias) *)
+  output_elements : int;
+  vector_ops : int;      (* element-wise VFU operations per inference *)
+}
+
+let weight_elements (node : Node.t) (input_shapes : Tensor.shape list) =
+  match (Node.op node, input_shapes) with
+  | Op.Conv c, [ s ] ->
+      let cin = Tensor.channels s / c.groups in
+      let per_filter = c.kernel_h * c.kernel_w * cin in
+      (per_filter * c.out_channels) + (if c.has_bias then c.out_channels else 0)
+  | Op.Fully_connected f, [ s ] ->
+      (Tensor.flattened_features s * f.out_features)
+      + (if f.has_bias then f.out_features else 0)
+  | _ -> 0
+
+let macs (node : Node.t) (input_shapes : Tensor.shape list) =
+  match (Node.op node, input_shapes) with
+  | Op.Conv c, [ s ] ->
+      let cin = Tensor.channels s / c.groups in
+      let out = Node.output_shape node in
+      c.kernel_h * c.kernel_w * cin * Tensor.num_elements out
+  | Op.Fully_connected f, [ s ] ->
+      Tensor.flattened_features s * f.out_features
+  | _ -> 0
+
+let vector_ops (node : Node.t) (input_shapes : Tensor.shape list) =
+  let out = Tensor.num_elements (Node.output_shape node) in
+  match Node.op node with
+  | Op.Activation _ | Op.Softmax -> out
+  | Op.Eltwise _ -> out * (List.length input_shapes - 1)
+  | Op.Pool p ->
+      let window =
+        if p.global then
+          match input_shapes with
+          | [ s ] -> Tensor.height s * Tensor.width s
+          | _ -> 0
+        else p.kernel_h * p.kernel_w
+      in
+      out * window
+  | Op.Input _ | Op.Conv _ | Op.Fully_connected _ | Op.Concat | Op.Flatten
+  | Op.Identity ->
+      0
+
+let of_node (g : Graph.t) (node : Node.t) =
+  let input_shapes =
+    List.map (fun src -> Node.output_shape (Graph.node g src)) (Node.inputs node)
+  in
+  {
+    node_id = Node.id node;
+    name = Node.name node;
+    kind = Op.kind_name (Node.op node);
+    macs = macs node input_shapes;
+    weight_elements = weight_elements node input_shapes;
+    output_elements = Tensor.num_elements (Node.output_shape node);
+    vector_ops = vector_ops node input_shapes;
+  }
+
+type graph_stats = {
+  graph_name : string;
+  num_nodes : int;
+  num_weighted : int;
+  total_macs : int;
+  total_weights : int;
+  total_activations : int;
+  total_vector_ops : int;
+  per_node : node_stats list;
+}
+
+let of_graph g =
+  let per_node =
+    Array.to_list (Graph.nodes g) |> List.map (fun n -> of_node g n)
+  in
+  let sum f = List.fold_left (fun acc s -> acc + f s) 0 per_node in
+  {
+    graph_name = Graph.name g;
+    num_nodes = Graph.num_nodes g;
+    num_weighted = List.length (Graph.weighted_nodes g);
+    total_macs = sum (fun s -> s.macs);
+    total_weights = sum (fun s -> s.weight_elements);
+    total_activations = sum (fun s -> s.output_elements);
+    total_vector_ops = sum (fun s -> s.vector_ops);
+    per_node;
+  }
+
+let pp_summary ppf s =
+  Fmt.pf ppf
+    "@[<v>%s: %d nodes (%d weighted), %.2f GMACs, %.2f M weights, %.2f M \
+     activations@]"
+    s.graph_name s.num_nodes s.num_weighted
+    (float_of_int s.total_macs /. 1e9)
+    (float_of_int s.total_weights /. 1e6)
+    (float_of_int s.total_activations /. 1e6)

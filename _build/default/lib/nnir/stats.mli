@@ -1,0 +1,26 @@
+(** Static workload statistics per node and per graph. *)
+
+type node_stats = {
+  node_id : Node.id;
+  name : string;
+  kind : string;
+  macs : int;
+  weight_elements : int;
+  output_elements : int;
+  vector_ops : int;
+}
+
+type graph_stats = {
+  graph_name : string;
+  num_nodes : int;
+  num_weighted : int;
+  total_macs : int;
+  total_weights : int;
+  total_activations : int;
+  total_vector_ops : int;
+  per_node : node_stats list;
+}
+
+val of_node : Graph.t -> Node.t -> node_stats
+val of_graph : Graph.t -> graph_stats
+val pp_summary : graph_stats Fmt.t

@@ -1,0 +1,249 @@
+(* Textual serialisation of DNN graphs (".nnt"), the interchange format
+   standing in for ONNX in this reproduction (DESIGN.md §1).
+
+   Line-oriented, whitespace-separated:
+
+     graph <name>
+     node <id> <name> <kind> <key>=<value>... inputs=<id>,<id>,...
+
+   Example:
+
+     graph tiny
+     node 0 input input shape=3x16x16 inputs=
+     node 1 conv conv oc=8 k=3x3 s=1x1 p=1,1,1,1 g=1 bias=1 inputs=0
+     node 2 relu relu inputs=1
+
+   [to_string] and [of_string] round-trip exactly. *)
+
+exception Parse_error of { line : int; message : string }
+
+let errf line fmt =
+  Fmt.kstr (fun message -> raise (Parse_error { line; message })) fmt
+
+(* --- printing ----------------------------------------------------------- *)
+
+let padding_to_string (p : Op.padding) =
+  Fmt.str "%d,%d,%d,%d" p.top p.bottom p.left p.right
+
+let shape_to_string (s : Tensor.shape) =
+  if Array.length s = 0 then "scalar"
+  else String.concat "x" (List.map string_of_int (Array.to_list s))
+
+let op_fields : Op.t -> string list = function
+  | Op.Input s -> [ "shape=" ^ shape_to_string s ]
+  | Op.Conv c ->
+      [
+        Fmt.str "oc=%d" c.out_channels;
+        Fmt.str "k=%dx%d" c.kernel_h c.kernel_w;
+        Fmt.str "s=%dx%d" c.stride_h c.stride_w;
+        "p=" ^ padding_to_string c.pad;
+        Fmt.str "g=%d" c.groups;
+        Fmt.str "bias=%d" (if c.has_bias then 1 else 0);
+      ]
+  | Op.Fully_connected f ->
+      [
+        Fmt.str "of=%d" f.out_features;
+        Fmt.str "bias=%d" (if f.has_bias then 1 else 0);
+      ]
+  | Op.Pool p when p.global -> []
+  | Op.Pool p ->
+      [
+        Fmt.str "k=%dx%d" p.kernel_h p.kernel_w;
+        Fmt.str "s=%dx%d" p.stride_h p.stride_w;
+        "p=" ^ padding_to_string p.pad;
+        Fmt.str "ceil=%d" (if p.ceil_mode then 1 else 0);
+      ]
+  | Op.Activation _ | Op.Eltwise _ | Op.Concat | Op.Flatten | Op.Softmax
+  | Op.Identity ->
+      []
+
+(* Global pools need a distinct kind keyword since their parameter list is
+   empty. *)
+let op_kind_keyword : Op.t -> string = function
+  | Op.Pool p when p.global -> (
+      match p.kind with
+      | Op.Max_pool -> "global_maxpool"
+      | Op.Avg_pool -> "global_avgpool")
+  | op -> Op.kind_name op
+
+let node_to_line (n : Node.t) =
+  let inputs = String.concat "," (List.map string_of_int (Node.inputs n)) in
+  let fields = op_fields (Node.op n) in
+  String.concat " "
+    ([ "node"; string_of_int (Node.id n); Node.name n;
+       op_kind_keyword (Node.op n) ]
+    @ fields
+    @ [ "inputs=" ^ inputs ])
+
+let to_string (g : Graph.t) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf ("graph " ^ Graph.name g ^ "\n");
+  Array.iter
+    (fun n ->
+      Buffer.add_string buf (node_to_line n);
+      Buffer.add_char buf '\n')
+    (Graph.nodes g);
+  Buffer.contents buf
+
+(* --- parsing ------------------------------------------------------------ *)
+
+let parse_int line what s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> errf line "invalid integer %S for %s" s what
+
+let parse_pair line what s =
+  match String.split_on_char 'x' s with
+  | [ a; b ] -> (parse_int line what a, parse_int line what b)
+  | _ -> errf line "expected AxB for %s, got %S" what s
+
+let parse_padding line s : Op.padding =
+  match String.split_on_char ',' s |> List.map (parse_int line "padding") with
+  | [ top; bottom; left; right ] -> { top; bottom; left; right }
+  | _ -> errf line "expected t,b,l,r padding, got %S" s
+
+let parse_shape line s : Tensor.shape =
+  if s = "scalar" then Tensor.scalar
+  else
+    String.split_on_char 'x' s
+    |> List.map (parse_int line "shape")
+    |> Array.of_list
+
+let parse_bool line what s =
+  match parse_int line what s with
+  | 0 -> false
+  | 1 -> true
+  | v -> errf line "expected 0/1 for %s, got %d" what v
+
+let split_fields tokens =
+  List.filter_map
+    (fun tok ->
+      match String.index_opt tok '=' with
+      | Some i ->
+          Some
+            ( String.sub tok 0 i,
+              String.sub tok (i + 1) (String.length tok - i - 1) )
+      | None -> None)
+    tokens
+
+let field line fields key =
+  match List.assoc_opt key fields with
+  | Some v -> v
+  | None -> errf line "missing field %S" key
+
+let field_opt fields key = List.assoc_opt key fields
+
+let parse_op line kind fields : Op.t =
+  let get = field line fields in
+  match kind with
+  | "input" -> Op.Input (parse_shape line (get "shape"))
+  | "conv" ->
+      let kernel_h, kernel_w = parse_pair line "kernel" (get "k") in
+      let stride_h, stride_w = parse_pair line "stride" (get "s") in
+      Op.Conv
+        {
+          out_channels = parse_int line "oc" (get "oc");
+          kernel_h;
+          kernel_w;
+          stride_h;
+          stride_w;
+          pad = parse_padding line (get "p");
+          groups =
+            (match field_opt fields "g" with
+            | Some g -> parse_int line "groups" g
+            | None -> 1);
+          has_bias =
+            (match field_opt fields "bias" with
+            | Some v -> parse_bool line "bias" v
+            | None -> true);
+        }
+  | "fc" ->
+      Op.Fully_connected
+        {
+          out_features = parse_int line "of" (get "of");
+          has_bias =
+            (match field_opt fields "bias" with
+            | Some v -> parse_bool line "bias" v
+            | None -> true);
+        }
+  | "maxpool" | "avgpool" ->
+      let kernel_h, kernel_w = parse_pair line "kernel" (get "k") in
+      let stride_h, stride_w = parse_pair line "stride" (get "s") in
+      Op.Pool
+        {
+          kind = (if kind = "maxpool" then Op.Max_pool else Op.Avg_pool);
+          kernel_h;
+          kernel_w;
+          stride_h;
+          stride_w;
+          pad = parse_padding line (get "p");
+          global = false;
+          ceil_mode =
+            (match field_opt fields "ceil" with
+            | Some v -> parse_bool line "ceil" v
+            | None -> false);
+        }
+  | "global_maxpool" -> Op.global_pool ~kind:Op.Max_pool
+  | "global_avgpool" -> Op.global_pool ~kind:Op.Avg_pool
+  | "relu" -> Op.Activation Op.Relu
+  | "sigmoid" -> Op.Activation Op.Sigmoid
+  | "tanh" -> Op.Activation Op.Tanh
+  | "add" -> Op.Eltwise Op.Add
+  | "mul" -> Op.Eltwise Op.Mul
+  | "max" -> Op.Eltwise Op.Max
+  | "concat" -> Op.Concat
+  | "flatten" -> Op.Flatten
+  | "softmax" -> Op.Softmax
+  | "identity" -> Op.Identity
+  | _ -> errf line "unknown operator kind %S" kind
+
+let parse_inputs line s =
+  if s = "" then []
+  else
+    String.split_on_char ',' s |> List.map (parse_int line "input id")
+
+let tokenize line_text =
+  String.split_on_char ' ' line_text |> List.filter (fun t -> t <> "")
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let graph_name = ref None in
+  let rev_nodes = ref [] in
+  List.iteri
+    (fun i line_text ->
+      let line = i + 1 in
+      let line_text = String.trim line_text in
+      if line_text <> "" && not (String.length line_text > 0 && line_text.[0] = '#')
+      then
+        match tokenize line_text with
+        | [ "graph"; name ] -> (
+            match !graph_name with
+            | None -> graph_name := Some name
+            | Some _ -> errf line "duplicate graph header")
+        | "node" :: id :: name :: kind :: rest ->
+            let fields = split_fields rest in
+            let op = parse_op line kind fields in
+            let inputs = parse_inputs line (field line fields "inputs") in
+            let id = parse_int line "node id" id in
+            rev_nodes := Node.make ~id ~name ~op ~inputs :: !rev_nodes
+        | tok :: _ -> errf line "unexpected token %S" tok
+        | [] -> ())
+    lines;
+  let name =
+    match !graph_name with
+    | Some n -> n
+    | None -> raise (Parse_error { line = 0; message = "missing graph header" })
+  in
+  Graph.create ~name (List.rev !rev_nodes)
+
+let to_file path g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string g))
+
+let of_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (In_channel.input_all ic))

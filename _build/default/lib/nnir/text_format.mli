@@ -1,0 +1,11 @@
+(** Textual serialisation of DNN graphs (".nnt") — the interchange format
+    standing in for ONNX (DESIGN.md §1).  [to_string] / [of_string]
+    round-trip exactly for every graph the IR can represent. *)
+
+exception Parse_error of { line : int; message : string }
+
+val to_string : Graph.t -> string
+val of_string : string -> Graph.t
+
+val to_file : string -> Graph.t -> unit
+val of_file : string -> Graph.t

@@ -1,0 +1,1 @@
+lib/sim/batch.ml: Array Engine Fmt List Metrics Pimcomp

@@ -1,0 +1,1 @@
+lib/sim/batch.mli: Fmt Metrics Pimcomp Pimhw

@@ -1,0 +1,1 @@
+lib/sim/trace.ml: Array Buffer Engine Float Fmt List Nnir Pimcomp

@@ -1,0 +1,96 @@
+(* Batched simulation: replicate a compiled stream for [batches]
+   back-to-back inferences and run it as one program.  Crossbars (AG
+   ids) are shared across instances — the weights are the same physical
+   arrays — so structural conflicts serialise exactly where the hardware
+   would, while independent instances overlap freely.
+
+   This validates the steady-state throughput read on single-stream HT
+   simulations (throughput ~ 1/makespan): with the pipeline full, the
+   marginal cost of one more inference is one steady-state interval. *)
+
+module Isa = Pimcomp.Isa
+
+let replicate (program : Isa.t) ~batches =
+  if batches <= 0 then invalid_arg "Batch.replicate: batches <= 0";
+  let cores =
+    Array.map
+      (fun (instrs : Isa.instr array) ->
+        let n = Array.length instrs in
+        Array.init (n * batches) (fun i ->
+            let instance = i / n and idx = i mod n in
+            let base = instance * n in
+            let instr = instrs.(idx) in
+            (* A core executes its static sequence once per inference, so
+               operation [idx] of inference k follows operation [idx] of
+               inference k-1 — this is what pipelines instances cleanly
+               instead of letting them race for resources. *)
+            let pipeline_dep =
+              if instance = 0 then [] else [ ((instance - 1) * n) + idx ]
+            in
+            {
+              instr with
+              Isa.deps =
+                pipeline_dep
+                @ List.map (fun d -> d + base) instr.Isa.deps;
+              op =
+                (match instr.Isa.op with
+                | Isa.Send s ->
+                    Isa.Send
+                      { s with tag = s.tag + (instance * program.Isa.num_tags) }
+                | Isa.Recv r ->
+                    Isa.Recv
+                      { r with tag = r.tag + (instance * program.Isa.num_tags) }
+                | op -> op);
+            }))
+      program.Isa.cores
+  in
+  {
+    program with
+    Isa.cores;
+    num_tags = program.Isa.num_tags * batches;
+    memory =
+      {
+        program.Isa.memory with
+        Isa.global_load_bytes =
+          program.Isa.memory.Isa.global_load_bytes * batches;
+        global_store_bytes =
+          program.Isa.memory.Isa.global_store_bytes * batches;
+      };
+  }
+
+type result = {
+  batches : int;
+  total_ns : float;
+  single_ns : float;          (* single-inference makespan *)
+  steady_interval_ns : float; (* marginal time per extra inference *)
+  throughput_ips : float;     (* from the batched run *)
+  metrics : Metrics.t;        (* of the batched run *)
+}
+
+let run ?parallelism hw (program : Isa.t) ~batches =
+  let single = Engine.run ?parallelism hw program in
+  let batched = Engine.run ?parallelism hw (replicate program ~batches) in
+  let total = batched.Metrics.makespan_ns in
+  let single_ns = single.Metrics.makespan_ns in
+  let steady =
+    if batches > 1 then
+      (total -. single_ns) /. float_of_int (batches - 1)
+    else total
+  in
+  {
+    batches;
+    total_ns = total;
+    single_ns;
+    steady_interval_ns = steady;
+    throughput_ips =
+      (if total > 0.0 then float_of_int batches *. 1e9 /. total else 0.0);
+    metrics = batched;
+  }
+
+let pp ppf r =
+  Fmt.pf ppf
+    "batch of %d: total %.1f us (first %.1f us, then %.1f us per \
+     inference), throughput %.0f inf/s"
+    r.batches (r.total_ns /. 1e3) (r.single_ns /. 1e3)
+    (r.steady_interval_ns /. 1e3)
+    r.throughput_ips

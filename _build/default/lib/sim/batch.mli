@@ -1,0 +1,19 @@
+(** Batched simulation: replicate a compiled stream for several
+    back-to-back inferences (sharing the physical crossbars, so
+    structural conflicts serialise) and measure the true steady-state
+    interval per inference. *)
+
+type result = {
+  batches : int;
+  total_ns : float;
+  single_ns : float;
+  steady_interval_ns : float;
+  throughput_ips : float;
+  metrics : Metrics.t;
+}
+
+val replicate : Pimcomp.Isa.t -> batches:int -> Pimcomp.Isa.t
+(** The batched program; [Pimcomp.Isa.check]-clean if the input was. *)
+
+val run : ?parallelism:int -> Pimhw.Config.t -> Pimcomp.Isa.t -> batches:int -> result
+val pp : result Fmt.t

@@ -1,0 +1,29 @@
+(** The discrete-event execution engine — the cycle-accurate simulator
+    of the paper's Section V-A2.  Models data dependencies, structural
+    conflicts of crossbars (per AG), per-core MVM issue bandwidth
+    (the parallelism degree), VFU occupancy, banked global-memory
+    bandwidth, and XY-mesh message latency; accounts dynamic energy per
+    event and static energy per component-active window.
+
+    Execution is dataflow (dependency-driven): well-formed programs
+    always terminate, and unmatched rendezvous surface as
+    [deadlocked = true] in the result instead of a hang. *)
+
+type config = {
+  timing : Pimhw.Timing.t;
+  energy : Pimhw.Energy_model.t;
+  noc : Pimhw.Noc.t;
+}
+
+val make_config : ?parallelism:int -> Pimhw.Config.t -> config
+
+val run :
+  ?parallelism:int ->
+  ?on_schedule:(core:int -> index:int -> start:float -> finish:float -> unit) ->
+  Pimhw.Config.t ->
+  Pimcomp.Isa.t ->
+  Metrics.t
+(** [run ~parallelism hw program] simulates the compiled program on the
+    given hardware at the given parallelism degree (default 20, the
+    paper's energy-evaluation setting).  Deterministic.  [on_schedule]
+    observes every instruction as it is scheduled (see {!Trace}). *)

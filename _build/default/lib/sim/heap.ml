@@ -1,0 +1,62 @@
+(* Array-based binary min-heap of timestamped events, the simulator's
+   event queue.  Ties break on (core, index) so runs are deterministic. *)
+
+type entry = { time : float; core : int; index : int }
+
+type t = { mutable data : entry array; mutable size : int }
+
+let dummy = { time = 0.0; core = -1; index = -1 }
+
+let create () = { data = Array.make 256 dummy; size = 0 }
+
+let is_empty h = h.size = 0
+let length h = h.size
+
+let less a b =
+  a.time < b.time
+  || (a.time = b.time && (a.core < b.core || (a.core = b.core && a.index < b.index)))
+
+let swap h i j =
+  let tmp = h.data.(i) in
+  h.data.(i) <- h.data.(j);
+  h.data.(j) <- tmp
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less h.data.(i) h.data.(parent) then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.size && less h.data.(l) h.data.(!smallest) then smallest := l;
+  if r < h.size && less h.data.(r) h.data.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let push h entry =
+  if h.size = Array.length h.data then begin
+    let bigger = Array.make (2 * h.size) dummy in
+    Array.blit h.data 0 bigger 0 h.size;
+    h.data <- bigger
+  end;
+  h.data.(h.size) <- entry;
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    h.data.(0) <- h.data.(h.size);
+    h.data.(h.size) <- dummy;
+    if h.size > 0 then sift_down h 0;
+    Some top
+  end

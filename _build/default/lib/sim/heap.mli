@@ -1,0 +1,10 @@
+(** Binary min-heap event queue with deterministic tie-breaking. *)
+
+type entry = { time : float; core : int; index : int }
+type t
+
+val create : unit -> t
+val is_empty : t -> bool
+val length : t -> int
+val push : t -> entry -> unit
+val pop : t -> entry option

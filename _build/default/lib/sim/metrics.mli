@@ -1,0 +1,42 @@
+(** Simulation results: timing, energy breakdown, traffic and memory. *)
+
+type energy = {
+  mvm_pj : float;
+  vec_pj : float;
+  local_mem_pj : float;
+  global_mem_pj : float;
+  noc_pj : float;
+  core_static_pj : float;
+  router_static_pj : float;
+  global_static_pj : float;
+  hyper_transport_static_pj : float;
+}
+
+val zero_energy : energy
+val dynamic_pj : energy -> float
+val static_pj : energy -> float
+val total_pj : energy -> float
+
+type t = {
+  graph_name : string;
+  mode : Pimcomp.Mode.t;
+  makespan_ns : float;
+  throughput_ips : float;
+  latency_ns : float;
+  energy : energy;
+  instrs_executed : int;
+  instrs_total : int;
+  mvm_windows : int;
+  messages : int;
+  flit_hops : int;
+  global_load_bytes : int;
+  global_store_bytes : int;
+  core_busy_ns : float array;
+  local_peak_bytes : int array;
+  deadlocked : bool;
+}
+
+val active_cores : t -> int
+val avg_local_peak_bytes : t -> float
+val max_local_peak_bytes : t -> int
+val pp : t Fmt.t

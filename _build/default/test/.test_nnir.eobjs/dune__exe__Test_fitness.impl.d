@@ -1,0 +1,1 @@
+test/test_fitness.ml: Alcotest Array Float List Nnir Pimcomp Pimhw QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_genetic.ml: Alcotest List Nnir Pimcomp Pimhw

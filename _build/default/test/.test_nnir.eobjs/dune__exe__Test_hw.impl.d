@@ -1,0 +1,1 @@
+test/test_hw.ml: Alcotest List Pimhw QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Fmt List Nnir Pimcomp Pimhw Pimsim String

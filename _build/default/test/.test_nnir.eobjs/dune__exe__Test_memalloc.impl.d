@@ -1,0 +1,1 @@
+test/test_memalloc.ml: Alcotest List Pimcomp QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_nnir.ml: Alcotest Array List Nnir QCheck QCheck_alcotest

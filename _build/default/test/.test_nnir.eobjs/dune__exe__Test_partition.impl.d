@@ -1,0 +1,1 @@
+test/test_partition.ml: Alcotest Array List Nnir Pimcomp Pimhw QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_receptive.ml: Alcotest List Nnir Pimcomp QCheck QCheck_alcotest

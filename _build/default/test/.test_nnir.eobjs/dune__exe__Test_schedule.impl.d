@@ -1,0 +1,1 @@
+test/test_schedule.ml: Alcotest Array List Nnir Pimcomp Pimhw Pimsim

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array List Nnir Pimcomp Pimhw Pimsim QCheck QCheck_alcotest String

@@ -1,0 +1,108 @@
+(* Tests for the PUMA-like baseline (Section V-A2): pipeline-balancing
+   replication and sequential first-fit mapping. *)
+
+let hw = Pimhw.Config.puma_like
+
+let setup name size =
+  let g = Nnir.Zoo.build ~input_size:size name in
+  let table = Pimcomp.Partition.of_graph hw g in
+  let core_count = Pimcomp.Partition.fit_core_count table in
+  (table, core_count)
+
+let test_valid_chromosome () =
+  List.iter
+    (fun (name, size) ->
+      let table, core_count = setup name size in
+      let c =
+        Pimcomp.Puma_baseline.build table ~core_count ~max_node_num_in_core:16
+      in
+      match Pimcomp.Chromosome.violations c with
+      | [] -> ()
+      | v :: _ ->
+          Alcotest.failf "%s: invalid baseline: %a" name
+            Pimcomp.Chromosome.pp_violation v)
+    [ ("tiny", 16); ("vgg16", 56); ("squeezenet", 56); ("resnet18", 56) ]
+
+let test_replication_balances_cycles () =
+  (* after balancing, per-replica cycle counts should be far less spread
+     than the raw window counts *)
+  let table, core_count = setup "vgg16" 56 in
+  let r =
+    Pimcomp.Puma_baseline.balanced_replication table ~core_count
+      ~budget_fraction:0.85
+  in
+  let entries = Pimcomp.Partition.entries table in
+  let cycles i =
+    float_of_int entries.(i).Pimcomp.Partition.windows /. float_of_int r.(i)
+  in
+  let windows i = float_of_int entries.(i).Pimcomp.Partition.windows in
+  let spread f =
+    let n = Array.length entries in
+    let values = List.init n f in
+    List.fold_left Float.max 1.0 values
+    /. Float.max 1.0 (List.fold_left Float.min infinity values)
+  in
+  Alcotest.(check bool) "cycle spread reduced" true
+    (spread cycles < spread windows);
+  Array.iter (fun v -> Alcotest.(check bool) "R >= 1" true (v >= 1)) r
+
+let test_budget_respected () =
+  let table, core_count = setup "vgg16" 56 in
+  let r =
+    Pimcomp.Puma_baseline.balanced_replication table ~core_count
+      ~budget_fraction:0.85
+  in
+  let entries = Pimcomp.Partition.entries table in
+  let used = ref 0 in
+  Array.iteri
+    (fun i info ->
+      used := !used + (r.(i) * Pimcomp.Partition.xbars_per_replica info))
+    entries;
+  let budget =
+    int_of_float (float_of_int (core_count * 64) *. 0.85)
+  in
+  Alcotest.(check bool) "within budget" true (!used <= budget)
+
+let test_sequential_mapping_is_compact () =
+  (* first-fit packing leaves no gaps: any core with free space must be
+     followed only by emptier cores *)
+  let table, core_count = setup "squeezenet" 56 in
+  let c =
+    Pimcomp.Puma_baseline.build table ~core_count ~max_node_num_in_core:16
+  in
+  let usages =
+    List.init core_count (fun core -> Pimcomp.Chromosome.core_xbars c core)
+  in
+  let first_empty =
+    match List.find_index (fun u -> u = 0) usages with
+    | Some i -> i
+    | None -> core_count
+  in
+  List.iteri
+    (fun i u ->
+      if i > first_empty then
+        Alcotest.(check int) "nothing after first empty core" 0 u)
+    usages
+
+let test_infeasible_raises () =
+  let table, _ = setup "vgg16" 56 in
+  match
+    Pimcomp.Puma_baseline.build table ~core_count:2 ~max_node_num_in_core:4
+  with
+  | exception Pimcomp.Chromosome.Infeasible _ -> ()
+  | _ -> Alcotest.fail "vgg16 on 2 cores accepted"
+
+let () =
+  Alcotest.run "puma-baseline"
+    [
+      ( "baseline",
+        [
+          Alcotest.test_case "valid chromosome" `Quick test_valid_chromosome;
+          Alcotest.test_case "balances cycles" `Quick
+            test_replication_balances_cycles;
+          Alcotest.test_case "budget respected" `Quick test_budget_respected;
+          Alcotest.test_case "compact mapping" `Quick
+            test_sequential_mapping_is_compact;
+          Alcotest.test_case "infeasible raises" `Quick test_infeasible_raises;
+        ] );
+    ]

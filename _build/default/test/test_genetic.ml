@@ -1,0 +1,137 @@
+(* Tests for the genetic algorithm (Section IV-C): determinism,
+   monotone improvement over the initial population, seed handling and
+   the random-search ablation baseline. *)
+
+let hw = Pimhw.Config.puma_like
+
+let setup name size =
+  let g = Nnir.Zoo.build ~input_size:size name in
+  let table = Pimcomp.Partition.of_graph hw g in
+  let core_count = Pimcomp.Partition.fit_core_count table in
+  (table, core_count)
+
+let params =
+  { Pimcomp.Genetic.fast_params with population = 16; iterations = 25 }
+
+let optimize ?seeds ~seed ~mode table core_count =
+  let timing = Pimhw.Timing.create ~parallelism:8 hw in
+  let rng = Pimcomp.Rng.create ~seed in
+  Pimcomp.Genetic.optimize ~params ?seeds ~mode ~timing ~rng table ~core_count
+    ~max_node_num_in_core:16 ()
+
+let test_deterministic () =
+  let table, cores = setup "tiny" 16 in
+  let r1 = optimize ~seed:7 ~mode:Pimcomp.Mode.High_throughput table cores in
+  let r2 = optimize ~seed:7 ~mode:Pimcomp.Mode.High_throughput table cores in
+  Alcotest.(check (float 1e-9)) "same fitness for same seed"
+    r1.Pimcomp.Genetic.best_fitness r2.Pimcomp.Genetic.best_fitness
+
+let test_improves_over_initial () =
+  let table, cores = setup "tiny" 16 in
+  List.iter
+    (fun mode ->
+      let r = optimize ~seed:11 ~mode table cores in
+      Alcotest.(check bool) "best <= initial" true
+        (r.Pimcomp.Genetic.best_fitness
+        <= r.Pimcomp.Genetic.initial_best_fitness +. 1e-9);
+      Alcotest.(check bool) "best is valid" true
+        (Pimcomp.Chromosome.is_valid r.Pimcomp.Genetic.best))
+    Pimcomp.Mode.all
+
+let test_history_monotone () =
+  let table, cores = setup "tiny" 16 in
+  let r = optimize ~seed:13 ~mode:Pimcomp.Mode.High_throughput table cores in
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+        Alcotest.(check bool) "history non-increasing" true (b <= a +. 1e-9);
+        check rest
+    | _ -> ()
+  in
+  check r.Pimcomp.Genetic.history;
+  Alcotest.(check int) "history length"
+    (r.Pimcomp.Genetic.generations_run + 1)
+    (List.length r.Pimcomp.Genetic.history)
+
+let test_seed_never_worse () =
+  (* seeding with the PUMA-like individual means the result can only be
+     at least as good as that seed *)
+  let table, cores = setup "squeezenet" 56 in
+  let timing = Pimhw.Timing.create ~parallelism:8 hw in
+  let puma =
+    Pimcomp.Puma_baseline.build table ~core_count:cores
+      ~max_node_num_in_core:16
+  in
+  let puma_fitness = Pimcomp.Fitness.ht timing puma in
+  let r =
+    optimize ~seeds:[ puma ] ~seed:17 ~mode:Pimcomp.Mode.High_throughput table
+      cores
+  in
+  Alcotest.(check bool) "GA <= PUMA seed" true
+    (r.Pimcomp.Genetic.best_fitness <= puma_fitness +. 1e-9)
+
+let test_invalid_seed_filtered () =
+  let table, cores = setup "tiny" 16 in
+  (* an empty chromosome violates the every-node-mapped invariant and
+     must be dropped rather than crash the GA *)
+  let bogus =
+    Pimcomp.Chromosome.create_empty table ~core_count:cores
+      ~max_node_num_in_core:16
+  in
+  let r =
+    optimize ~seeds:[ bogus ] ~seed:19 ~mode:Pimcomp.Mode.High_throughput table
+      cores
+  in
+  Alcotest.(check bool) "result valid" true
+    (Pimcomp.Chromosome.is_valid r.Pimcomp.Genetic.best)
+
+let test_patience_stops_early () =
+  let table, cores = setup "tiny" 16 in
+  let timing = Pimhw.Timing.create ~parallelism:8 hw in
+  let rng = Pimcomp.Rng.create ~seed:23 in
+  let r =
+    Pimcomp.Genetic.optimize
+      ~params:{ params with iterations = 10_000; patience = Some 5 }
+      ~mode:Pimcomp.Mode.High_throughput ~timing ~rng table ~core_count:cores
+      ~max_node_num_in_core:16 ()
+  in
+  Alcotest.(check bool) "stopped well before the cap" true
+    (r.Pimcomp.Genetic.generations_run < 2_000)
+
+let test_ga_beats_random_search () =
+  (* with the same evaluation budget the mutation-driven GA should be at
+     least as good as pure random initialisation *)
+  let table, cores = setup "tiny" 16 in
+  let timing = Pimhw.Timing.create ~parallelism:8 hw in
+  let ga =
+    Pimcomp.Genetic.optimize ~params ~mode:Pimcomp.Mode.High_throughput
+      ~timing
+      ~rng:(Pimcomp.Rng.create ~seed:29)
+      table ~core_count:cores ~max_node_num_in_core:16 ()
+  in
+  let rs =
+    Pimcomp.Genetic.random_search ~params ~mode:Pimcomp.Mode.High_throughput
+      ~timing
+      ~rng:(Pimcomp.Rng.create ~seed:29)
+      table ~core_count:cores ~max_node_num_in_core:16 ()
+  in
+  Alcotest.(check bool) "GA <= random search * 1.05" true
+    (ga.Pimcomp.Genetic.best_fitness
+    <= rs.Pimcomp.Genetic.best_fitness *. 1.05)
+
+let () =
+  Alcotest.run "genetic"
+    [
+      ( "ga",
+        [
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "improves over initial" `Quick
+            test_improves_over_initial;
+          Alcotest.test_case "history monotone" `Quick test_history_monotone;
+          Alcotest.test_case "seed never worse" `Quick test_seed_never_worse;
+          Alcotest.test_case "invalid seed filtered" `Quick
+            test_invalid_seed_filtered;
+          Alcotest.test_case "patience" `Quick test_patience_stops_early;
+          Alcotest.test_case "beats random search" `Quick
+            test_ga_beats_random_search;
+        ] );
+    ]

@@ -1,0 +1,140 @@
+(* Tests for the local-memory allocation disciplines (Section IV-D3):
+   peak ordering Naive >= ADD-reuse >= AG-reuse, spill accounting, and
+   accumulator/slot reuse semantics. *)
+
+let strategies = [ Pimcomp.Memalloc.Naive; Add_reuse; Ag_reuse ]
+
+let test_fresh_always_allocates () =
+  List.iter
+    (fun s ->
+      let a = Pimcomp.Memalloc.create s ~core_count:1 ~capacity:None in
+      for _ = 1 to 10 do
+        ignore (Pimcomp.Memalloc.alloc a ~core:0 ~bytes:100 Pimcomp.Memalloc.Fresh)
+      done;
+      Alcotest.(check int)
+        (Pimcomp.Memalloc.strategy_name s ^ " fresh peak")
+        1000
+        (Pimcomp.Memalloc.peak a ~core:0))
+    strategies
+
+let test_accumulator_reuse () =
+  let peak s =
+    let a = Pimcomp.Memalloc.create s ~core_count:1 ~capacity:None in
+    for _ = 1 to 10 do
+      ignore
+        (Pimcomp.Memalloc.alloc a ~core:0 ~bytes:64
+           (Pimcomp.Memalloc.Accumulator 7))
+    done;
+    Pimcomp.Memalloc.peak a ~core:0
+  in
+  Alcotest.(check int) "naive accumulates" 640 (peak Pimcomp.Memalloc.Naive);
+  Alcotest.(check int) "ADD-reuse holds one block" 64
+    (peak Pimcomp.Memalloc.Add_reuse);
+  Alcotest.(check int) "AG-reuse holds one block" 64
+    (peak Pimcomp.Memalloc.Ag_reuse)
+
+let test_ag_slot_reuse () =
+  let peak s =
+    let a = Pimcomp.Memalloc.create s ~core_count:1 ~capacity:None in
+    for _ = 1 to 10 do
+      ignore
+        (Pimcomp.Memalloc.alloc a ~core:0 ~bytes:64 (Pimcomp.Memalloc.Ag_slot 3))
+    done;
+    Pimcomp.Memalloc.peak a ~core:0
+  in
+  Alcotest.(check int) "naive accumulates" 640 (peak Pimcomp.Memalloc.Naive);
+  Alcotest.(check int) "ADD-reuse accumulates slots" 640
+    (peak Pimcomp.Memalloc.Add_reuse);
+  Alcotest.(check int) "AG-reuse recycles" 64 (peak Pimcomp.Memalloc.Ag_reuse)
+
+let test_free_only_ag_reuse () =
+  let residual s =
+    let a = Pimcomp.Memalloc.create s ~core_count:1 ~capacity:None in
+    ignore (Pimcomp.Memalloc.alloc a ~core:0 ~bytes:100 Pimcomp.Memalloc.Fresh);
+    Pimcomp.Memalloc.free a ~core:0 ~bytes:100;
+    ignore (Pimcomp.Memalloc.alloc a ~core:0 ~bytes:100 Pimcomp.Memalloc.Fresh);
+    Pimcomp.Memalloc.peak a ~core:0
+  in
+  Alcotest.(check int) "naive ignores free" 200
+    (residual Pimcomp.Memalloc.Naive);
+  Alcotest.(check int) "ADD-reuse ignores free" 200
+    (residual Pimcomp.Memalloc.Add_reuse);
+  Alcotest.(check int) "AG-reuse reclaims" 100
+    (residual Pimcomp.Memalloc.Ag_reuse)
+
+let test_spill_accounting () =
+  let a =
+    Pimcomp.Memalloc.create Pimcomp.Memalloc.Naive ~core_count:1
+      ~capacity:(Some 100)
+  in
+  let s1 = Pimcomp.Memalloc.alloc a ~core:0 ~bytes:80 Pimcomp.Memalloc.Fresh in
+  Alcotest.(check int) "no spill below capacity" 0 s1;
+  let s2 = Pimcomp.Memalloc.alloc a ~core:0 ~bytes:50 Pimcomp.Memalloc.Fresh in
+  Alcotest.(check int) "spill of overflow" 30 s2;
+  Alcotest.(check int) "round-trip traffic" 60 (Pimcomp.Memalloc.spill_bytes a)
+
+let test_per_core_isolation () =
+  let a =
+    Pimcomp.Memalloc.create Pimcomp.Memalloc.Ag_reuse ~core_count:3
+      ~capacity:None
+  in
+  ignore (Pimcomp.Memalloc.alloc a ~core:1 ~bytes:500 Pimcomp.Memalloc.Fresh);
+  Alcotest.(check int) "core 0 untouched" 0 (Pimcomp.Memalloc.peak a ~core:0);
+  Alcotest.(check int) "core 1 peak" 500 (Pimcomp.Memalloc.peak a ~core:1);
+  Alcotest.(check (array int)) "peaks" [| 0; 500; 0 |] (Pimcomp.Memalloc.peaks a)
+
+(* The reuse hierarchy holds for ANY interleaved request trace. *)
+let reuse_hierarchy =
+  let request_gen =
+    QCheck.Gen.(
+      map2
+        (fun kind key -> (kind, key))
+        (int_range 0 2) (int_range 0 5))
+  in
+  QCheck.Test.make ~name:"peak(AG) <= peak(ADD) <= peak(naive)" ~count:500
+    (QCheck.make QCheck.Gen.(list_size (int_range 1 60) request_gen))
+    (fun trace ->
+      let run s =
+        let a = Pimcomp.Memalloc.create s ~core_count:1 ~capacity:None in
+        List.iter
+          (fun (kind, key) ->
+            let req =
+              match kind with
+              | 0 -> Pimcomp.Memalloc.Fresh
+              | 1 -> Pimcomp.Memalloc.Accumulator key
+              | _ -> Pimcomp.Memalloc.Ag_slot key
+            in
+            ignore (Pimcomp.Memalloc.alloc a ~core:0 ~bytes:32 req))
+          trace;
+        Pimcomp.Memalloc.peak a ~core:0
+      in
+      let naive = run Pimcomp.Memalloc.Naive in
+      let add = run Pimcomp.Memalloc.Add_reuse in
+      let ag = run Pimcomp.Memalloc.Ag_reuse in
+      ag <= add && add <= naive)
+
+let test_strategy_names () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "name parses back" true
+        (Pimcomp.Memalloc.strategy_of_string (Pimcomp.Memalloc.strategy_name s)
+        = s))
+    strategies
+
+let () =
+  Alcotest.run "memalloc"
+    [
+      ( "disciplines",
+        [
+          Alcotest.test_case "fresh always allocates" `Quick
+            test_fresh_always_allocates;
+          Alcotest.test_case "accumulator reuse" `Quick test_accumulator_reuse;
+          Alcotest.test_case "AG slot reuse" `Quick test_ag_slot_reuse;
+          Alcotest.test_case "free semantics" `Quick test_free_only_ag_reuse;
+          Alcotest.test_case "spill accounting" `Quick test_spill_accounting;
+          Alcotest.test_case "per-core isolation" `Quick
+            test_per_core_isolation;
+          Alcotest.test_case "strategy names" `Quick test_strategy_names;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest reuse_hierarchy ]);
+    ]

@@ -1,0 +1,195 @@
+(* Tests for node partitioning (Section IV-B): AG arithmetic against
+   hand-computed layer examples, table indexing, and coverage
+   properties. *)
+
+let hw = Pimhw.Config.puma_like
+
+let table_of g = Pimcomp.Partition.of_graph hw g
+
+let info_of g name =
+  let table = table_of g in
+  let entries = Pimcomp.Partition.entries table in
+  match
+    Array.to_list entries
+    |> List.find_opt (fun (i : Pimcomp.Partition.info) ->
+           i.Pimcomp.Partition.name = name)
+  with
+  | Some i -> i
+  | None -> Alcotest.failf "no partition entry named %s" name
+
+let test_vgg16_conv1 () =
+  (* conv1: k=3x3, C_in=3, C_out=64, output 224x224.
+     weight matrix 27 x 64 -> 1 AG of 1 crossbar, 50176 windows *)
+  let g = Nnir.Zoo.vgg16 () in
+  let i = info_of g "conv" in
+  Alcotest.(check int) "rows" 27 i.Pimcomp.Partition.weight_rows;
+  Alcotest.(check int) "cols" 64 i.Pimcomp.Partition.weight_cols;
+  Alcotest.(check int) "ags" 1 i.Pimcomp.Partition.ags_per_replica;
+  Alcotest.(check int) "xbars/ag" 1 i.Pimcomp.Partition.xbars_per_ag;
+  Alcotest.(check int) "windows" (224 * 224) i.Pimcomp.Partition.windows
+
+let test_vgg16_fc6 () =
+  (* fc6: 25088 x 4096 -> ceil(25088/128)=196 AGs x ceil(4096/128)=32
+     crossbars, 1 window *)
+  let g = Nnir.Zoo.vgg16 () in
+  let i = info_of g "fc" in
+  Alcotest.(check int) "rows" 25088 i.Pimcomp.Partition.weight_rows;
+  Alcotest.(check int) "ags" 196 i.Pimcomp.Partition.ags_per_replica;
+  Alcotest.(check int) "xbars/ag" 32 i.Pimcomp.Partition.xbars_per_ag;
+  Alcotest.(check int) "windows" 1 i.Pimcomp.Partition.windows;
+  Alcotest.(check int) "xbars/replica" (196 * 32)
+    (Pimcomp.Partition.xbars_per_replica i)
+
+let test_non_divisible () =
+  (* 5x5 conv on 3 channels: 75 rows -> 1 AG; 100 output channels on
+     128-wide crossbars -> 1 crossbar *)
+  let b = Nnir.Builder.create "odd" in
+  let x = Nnir.Builder.input b ~channels:3 ~size:32 in
+  let c = Nnir.Builder.conv b x ~out_channels:100 ~kernel:5 ~pad:2 in
+  let c2 = Nnir.Builder.conv b c ~out_channels:260 ~kernel:3 ~pad:1 in
+  ignore c2;
+  let g = Nnir.Builder.finish b in
+  let table = table_of g in
+  let e = Pimcomp.Partition.entries table in
+  Alcotest.(check int) "first: 1 AG" 1 e.(0).Pimcomp.Partition.ags_per_replica;
+  Alcotest.(check int) "first: 1 xbar" 1 e.(0).Pimcomp.Partition.xbars_per_ag;
+  (* second: rows 9*100=900 -> ceil(900/128)=8 AGs; cols 260 -> 3 xbars *)
+  Alcotest.(check int) "second: 8 AGs" 8 e.(1).Pimcomp.Partition.ags_per_replica;
+  Alcotest.(check int) "second: 3 xbars" 3 e.(1).Pimcomp.Partition.xbars_per_ag
+
+let test_table_indexing () =
+  let g = Nnir.Zoo.tiny () in
+  let table = table_of g in
+  Alcotest.(check int) "6 weighted" 6 (Pimcomp.Partition.num_weighted table);
+  Array.iteri
+    (fun idx (i : Pimcomp.Partition.info) ->
+      Alcotest.(check int) "index round-trip" idx
+        (Pimcomp.Partition.index_of_node table i.Pimcomp.Partition.node_id))
+    (Pimcomp.Partition.entries table);
+  (* a non-weighted node has no entry *)
+  let pool_id =
+    Array.to_list (Nnir.Graph.nodes g)
+    |> List.find (fun n ->
+           match Nnir.Node.op n with Nnir.Op.Pool _ -> true | _ -> false)
+    |> Nnir.Node.id
+  in
+  Alcotest.(check int) "pool has no entry" (-1)
+    (Pimcomp.Partition.index_of_node table pool_id);
+  Alcotest.(check bool) "info_of_node None" true
+    (Pimcomp.Partition.info_of_node table pool_id = None)
+
+let test_fit_core_count () =
+  let g = Nnir.Zoo.vgg16 ~input_size:56 () in
+  let table = table_of g in
+  let min_xbars = Pimcomp.Partition.min_xbars table in
+  let cores = Pimcomp.Partition.fit_core_count table in
+  Alcotest.(check bool) "fits" true (cores * 64 >= min_xbars);
+  Alcotest.(check bool) "not absurdly large" true (cores * 64 < 4 * min_xbars)
+
+let test_rejects_non_weighted () =
+  let g = Nnir.Zoo.tiny () in
+  let pool =
+    Array.to_list (Nnir.Graph.nodes g)
+    |> List.find (fun n ->
+           match Nnir.Node.op n with Nnir.Op.Pool _ -> true | _ -> false)
+  in
+  match Pimcomp.Partition.of_node hw g pool with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "partitioned a pool node"
+
+(* Partitioning covers the weight matrix exactly: enough AGs/crossbars to
+   seat every row and column, but no entirely idle AG or crossbar. *)
+let coverage_property =
+  QCheck.Test.make ~name:"AGs cover weight matrix" ~count:300
+    QCheck.(
+      quad (int_range 1 512) (int_range 1 2048) (int_range 1 7)
+        (int_range 7 100))
+    (fun (cin, cout, k, size) ->
+      QCheck.assume (size >= k);
+      let b = Nnir.Builder.create "p" in
+      let x = Nnir.Builder.input b ~channels:cin ~size in
+      let _ = Nnir.Builder.conv b x ~out_channels:cout ~kernel:k in
+      let g = Nnir.Builder.finish b in
+      let table = Pimcomp.Partition.of_graph hw g in
+      let i = (Pimcomp.Partition.entries table).(0) in
+      let rows = k * k * cin in
+      i.Pimcomp.Partition.ags_per_replica * hw.Pimhw.Config.xbar_rows >= rows
+      && (i.Pimcomp.Partition.ags_per_replica - 1) * hw.Pimhw.Config.xbar_rows
+         < rows
+      && i.Pimcomp.Partition.xbars_per_ag * hw.Pimhw.Config.xbar_cols >= cout
+      && (i.Pimcomp.Partition.xbars_per_ag - 1) * hw.Pimhw.Config.xbar_cols
+         < cout)
+
+let test_depthwise_packing () =
+  (* depthwise 3x3 on 256 channels: 256 blocks of 9x1.  A 128x128
+     crossbar seats floor(128/9) = 14 diagonal blocks, so a replica
+     needs ceil(256/14) = 19 crossbars — far fewer than the 256 a
+     block-per-crossbar layout would take, and more than the 1 a dense
+     (incorrect) reading would claim. *)
+  let b = Nnir.Builder.create "dw" in
+  let x = Nnir.Builder.input b ~channels:256 ~size:14 in
+  let _ =
+    Nnir.Builder.conv b x ~out_channels:256 ~kernel:3 ~pad:1 ~groups:256
+  in
+  let g = Nnir.Builder.finish b in
+  let table = table_of g in
+  let i = (Pimcomp.Partition.entries table).(0) in
+  Alcotest.(check int) "19 crossbars" 19
+    (Pimcomp.Partition.xbars_per_replica i);
+  Alcotest.(check int) "1 xbar per AG" 1 i.Pimcomp.Partition.xbars_per_ag
+
+let test_grouped_conv_packing () =
+  (* 4 groups of (3*3*16) x 32 = 144x32 blocks: rows exceed one crossbar
+     band? 144 > 128 -> per-block tiling: 2 x 1 crossbars per block, 4
+     blocks -> 8 crossbars *)
+  let b = Nnir.Builder.create "grp" in
+  let x = Nnir.Builder.input b ~channels:64 ~size:14 in
+  let _ =
+    Nnir.Builder.conv b x ~out_channels:128 ~kernel:3 ~pad:1 ~groups:4
+  in
+  let g = Nnir.Builder.finish b in
+  let table = table_of g in
+  let i = (Pimcomp.Partition.entries table).(0) in
+  Alcotest.(check int) "8 crossbars" 8 (Pimcomp.Partition.xbars_per_replica i)
+
+let test_mobilenet_fits () =
+  let g = Nnir.Zoo.mobilenet ~input_size:56 () in
+  let table = table_of g in
+  (* 4.2M weights / 16k-per-crossbar = 258 crossbar floor; with
+     depthwise packing overhead the total must stay within ~4x of it *)
+  let xbars = Pimcomp.Partition.min_xbars table in
+  Alcotest.(check bool) "within packing overhead" true
+    (xbars >= 258 && xbars < 1100)
+
+let test_crossbar_size_sensitivity () =
+  let g = Nnir.Zoo.vgg16 ~input_size:56 () in
+  let t128 = Pimcomp.Partition.of_graph hw g in
+  let t64 =
+    Pimcomp.Partition.of_graph { hw with xbar_rows = 64; xbar_cols = 64 } g
+  in
+  Alcotest.(check bool) "64x64 needs more crossbars" true
+    (Pimcomp.Partition.min_xbars t64 > Pimcomp.Partition.min_xbars t128)
+
+let () =
+  Alcotest.run "partition"
+    [
+      ( "arithmetic",
+        [
+          Alcotest.test_case "vgg16 conv1" `Quick test_vgg16_conv1;
+          Alcotest.test_case "vgg16 fc6" `Quick test_vgg16_fc6;
+          Alcotest.test_case "non-divisible" `Quick test_non_divisible;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "indexing" `Quick test_table_indexing;
+          Alcotest.test_case "fit core count" `Quick test_fit_core_count;
+          Alcotest.test_case "rejects non-weighted" `Quick
+            test_rejects_non_weighted;
+          Alcotest.test_case "crossbar size" `Quick
+            test_crossbar_size_sensitivity;
+          Alcotest.test_case "depthwise packing" `Quick test_depthwise_packing;
+          Alcotest.test_case "grouped packing" `Quick test_grouped_conv_packing;
+          Alcotest.test_case "mobilenet fits" `Quick test_mobilenet_fits;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest coverage_property ]);
+    ]

@@ -1,0 +1,126 @@
+(* Tests for the (r_d, c_d) receptive-field formulas (Section IV-D2),
+   including a brute-force cross-check against an explicit sliding-window
+   enumeration. *)
+
+let conv ~k ~s ~p =
+  Nnir.Op.conv ~stride:s ~pad:p ~out_channels:1 ~kernel:k ()
+
+let pool ~k ~s ~p =
+  Nnir.Op.pool ~stride:s ~pad:p ~kind:Nnir.Op.Max_pool ~kernel:k ()
+
+let test_paper_formula_conv () =
+  (* r_d = min(H, K + s*(r-1) - p) *)
+  let op = conv ~k:3 ~s:1 ~p:1 in
+  Alcotest.(check int) "first row" 2
+    (Pimcomp.Receptive.rows_needed op ~out_row:1 ~in_rows:56);
+  Alcotest.(check int) "middle row" 11
+    (Pimcomp.Receptive.rows_needed op ~out_row:10 ~in_rows:56);
+  Alcotest.(check int) "last row clamps" 56
+    (Pimcomp.Receptive.rows_needed op ~out_row:56 ~in_rows:56);
+  let op = conv ~k:7 ~s:2 ~p:3 in
+  Alcotest.(check int) "7x7 s2 p3 first" 4
+    (Pimcomp.Receptive.rows_needed op ~out_row:1 ~in_rows:224);
+  Alcotest.(check int) "7x7 s2 p3 row 10" 22
+    (Pimcomp.Receptive.rows_needed op ~out_row:10 ~in_rows:224)
+
+let test_pass_through_and_full () =
+  let add = Nnir.Op.Eltwise Nnir.Op.Add in
+  Alcotest.(check int) "eltwise row r needs row r" 17
+    (Pimcomp.Receptive.rows_needed add ~out_row:17 ~in_rows:56);
+  Alcotest.(check int) "fc needs everything" 56
+    (Pimcomp.Receptive.rows_needed
+       (Nnir.Op.fully_connected ~out_features:10 ())
+       ~out_row:1 ~in_rows:56);
+  Alcotest.(check int) "global pool needs everything" 56
+    (Pimcomp.Receptive.rows_needed
+       (Nnir.Op.global_pool ~kind:Nnir.Op.Avg_pool)
+       ~out_row:1 ~in_rows:56);
+  Alcotest.(check int) "flatten needs everything" 56
+    (Pimcomp.Receptive.rows_needed Nnir.Op.Flatten ~out_row:1 ~in_rows:56)
+
+let test_cols_rect () =
+  (* 1x7 conv with pad 3: c_d = min(W, 7 + (c-1) - 3) *)
+  let op =
+    Nnir.Op.conv_rect ~out_channels:1 ~kernel_h:1 ~kernel_w:7
+      ~pad:{ top = 0; bottom = 0; left = 3; right = 3 }
+      ()
+  in
+  Alcotest.(check int) "first col" 4
+    (Pimcomp.Receptive.cols_needed op ~out_col:1 ~in_cols:17);
+  Alcotest.(check int) "col 14" 17
+    (Pimcomp.Receptive.cols_needed op ~out_col:14 ~in_cols:17)
+
+let test_waiting_fraction () =
+  let w =
+    Pimcomp.Receptive.waiting_fraction (conv ~k:3 ~s:1 ~p:1) ~in_rows:56
+  in
+  Alcotest.(check (float 1e-9)) "conv waits 2/56" (2.0 /. 56.0) w;
+  Alcotest.(check (float 1e-9)) "fc waits 1.0" 1.0
+    (Pimcomp.Receptive.waiting_fraction
+       (Nnir.Op.fully_connected ~out_features:10 ())
+       ~in_rows:56)
+
+(* Brute force: for conv output row r, the last input row touched is the
+   max over the kernel taps of (r-1)*s + kh - p, clamped to the input. *)
+let brute_force_last_row ~k ~s ~p ~in_rows ~out_row =
+  let last = ref 0 in
+  for kh = 1 to k do
+    let row = ((out_row - 1) * s) + kh - p in
+    if row >= 1 && row <= in_rows then last := max !last row
+  done;
+  if !last = 0 then min in_rows (max 1 (k - p)) else !last
+
+let conv_matches_brute_force =
+  QCheck.Test.make ~name:"rows_needed matches brute force" ~count:1000
+    QCheck.(
+      quad (int_range 1 7) (int_range 1 3) (int_range 0 3) (int_range 8 64))
+    (fun (k, s, p, in_rows) ->
+      QCheck.assume (p < k);
+      let out_rows =
+        Nnir.Shape_infer.conv_extent ~in_extent:in_rows ~kernel:k ~stride:s
+          ~pad_lo:p ~pad_hi:p
+      in
+      let op = conv ~k ~s ~p in
+      let ok = ref true in
+      for r = 1 to out_rows do
+        let formula = Pimcomp.Receptive.rows_needed op ~out_row:r ~in_rows in
+        let brute = brute_force_last_row ~k ~s ~p ~in_rows ~out_row:r in
+        if formula <> brute then ok := false
+      done;
+      !ok)
+
+let monotone_property =
+  QCheck.Test.make ~name:"rows_needed monotone in out_row" ~count:500
+    QCheck.(
+      quad (int_range 1 7) (int_range 1 3) (int_range 0 3) (int_range 8 64))
+    (fun (k, s, p, in_rows) ->
+      QCheck.assume (p < k);
+      let op = conv ~k ~s ~p in
+      let ok = ref true in
+      let prev = ref 0 in
+      for r = 1 to 20 do
+        let v = Pimcomp.Receptive.rows_needed op ~out_row:r ~in_rows in
+        if v < !prev || v > in_rows then ok := false;
+        prev := v
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "receptive"
+    [
+      ( "formulas",
+        [
+          Alcotest.test_case "conv" `Quick test_paper_formula_conv;
+          Alcotest.test_case "pass-through/full" `Quick
+            test_pass_through_and_full;
+          Alcotest.test_case "rect cols" `Quick test_cols_rect;
+          Alcotest.test_case "waiting fraction" `Quick test_waiting_fraction;
+          Alcotest.test_case "pool same as conv" `Quick (fun () ->
+              Alcotest.(check int) "pool r_d" 5
+                (Pimcomp.Receptive.rows_needed (pool ~k:3 ~s:2 ~p:0)
+                   ~out_row:2 ~in_rows:55));
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ conv_matches_brute_force; monotone_property ] );
+    ]

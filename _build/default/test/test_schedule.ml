@@ -1,0 +1,290 @@
+(* Tests for the dataflow schedulers (Section IV-D): structural
+   well-formedness, MVM window coverage, rendezvous pairing, and the
+   mode-defining traffic properties (HT goes through global memory, LL
+   stays on chip). *)
+
+let hw = Pimhw.Config.puma_like
+
+let layout_of ?(seed = 1) name size =
+  let g = Nnir.Zoo.build ~input_size:size name in
+  let table = Pimcomp.Partition.of_graph hw g in
+  let core_count = Pimcomp.Partition.fit_core_count table in
+  let rng = Pimcomp.Rng.create ~seed in
+  let chrom =
+    Pimcomp.Chromosome.random_initial rng table ~core_count
+      ~max_node_num_in_core:16 ~extra_replica_attempts:4 ()
+  in
+  (g, table, Pimcomp.Layout.of_chromosome chrom)
+
+let schedule_ht ?(strategy = Pimcomp.Memalloc.Ag_reuse) layout =
+  Pimcomp.Schedule_ht.schedule
+    ~options:{ Pimcomp.Schedule_ht.mvms_per_transfer = 2; strategy }
+    layout
+
+let schedule_ll ?(strategy = Pimcomp.Memalloc.Ag_reuse) layout =
+  Pimcomp.Schedule_ll.schedule
+    ~options:{ Pimcomp.Schedule_ll.default_options with strategy }
+    layout
+
+(* Total MVM windows must equal sum over nodes of
+   windows * ags_per_replica — independent of replication, since
+   replicas split the windows. *)
+let expected_mvm_windows table =
+  Array.fold_left
+    (fun acc (i : Pimcomp.Partition.info) ->
+      acc + (i.Pimcomp.Partition.windows * i.Pimcomp.Partition.ags_per_replica))
+    0
+    (Pimcomp.Partition.entries table)
+
+let test_well_formed name size =
+  let _, table, layout = layout_of name size in
+  List.iter
+    (fun (label, program) ->
+      (match Pimcomp.Isa.check program with
+      | [] -> ()
+      | e :: _ -> Alcotest.failf "%s %s: %s" name label e);
+      Alcotest.(check int)
+        (name ^ " " ^ label ^ " MVM window coverage")
+        (expected_mvm_windows table)
+        (Pimcomp.Isa.total_mvm_windows program))
+    [ ("HT", schedule_ht layout); ("LL", schedule_ll layout) ]
+
+let test_tiny_well_formed () = test_well_formed "tiny" 16
+let test_squeezenet_well_formed () = test_well_formed "squeezenet" 56
+let test_resnet_well_formed () = test_well_formed "resnet18" 56
+
+let test_ht_uses_global_memory () =
+  let _, _, layout = layout_of "tiny" 16 in
+  let p = schedule_ht layout in
+  Alcotest.(check bool) "HT loads from global" true
+    (p.Pimcomp.Isa.memory.Pimcomp.Isa.global_load_bytes > 0);
+  Alcotest.(check bool) "HT stores to global" true
+    (p.Pimcomp.Isa.memory.Pimcomp.Isa.global_store_bytes > 0)
+
+let test_ll_stays_on_chip () =
+  let g, _, layout = layout_of "tiny" 16 in
+  let p = schedule_ll layout in
+  (* LL only loads the network input and stores the final output *)
+  let input_bytes =
+    List.fold_left
+      (fun acc id ->
+        acc + Nnir.Tensor.num_bytes (Nnir.Node.output_shape (Nnir.Graph.node g id)))
+      0 (Nnir.Graph.inputs g)
+  in
+  let loads = p.Pimcomp.Isa.memory.Pimcomp.Isa.global_load_bytes in
+  Alcotest.(check bool) "LL loads bounded by replicated input" true
+    (loads <= input_bytes * 24);
+  let ht = schedule_ht layout in
+  Alcotest.(check bool) "LL loads far below HT loads" true
+    (loads * 3 < ht.Pimcomp.Isa.memory.Pimcomp.Isa.global_load_bytes)
+
+let test_ll_has_messages_when_split () =
+  (* a layout with scattered AGs must produce SEND/RECV rendezvous *)
+  let _, _, layout = layout_of ~seed:3 "squeezenet" 56 in
+  let p = schedule_ll layout in
+  Alcotest.(check bool) "messages exist" true (p.Pimcomp.Isa.num_tags > 0)
+
+let test_mvms_per_transfer_scaling () =
+  (* larger transfer batches mean fewer, bigger MVM bursts *)
+  let _, _, layout = layout_of "tiny" 16 in
+  let p1 =
+    Pimcomp.Schedule_ht.schedule
+      ~options:
+        { Pimcomp.Schedule_ht.mvms_per_transfer = 1;
+          strategy = Pimcomp.Memalloc.Ag_reuse }
+      layout
+  in
+  let p4 =
+    Pimcomp.Schedule_ht.schedule
+      ~options:
+        { Pimcomp.Schedule_ht.mvms_per_transfer = 4;
+          strategy = Pimcomp.Memalloc.Ag_reuse }
+      layout
+  in
+  Alcotest.(check bool) "fewer bursts with batching" true
+    (Pimcomp.Isa.num_mvms p4 < Pimcomp.Isa.num_mvms p1);
+  Alcotest.(check int) "same windows" (Pimcomp.Isa.total_mvm_windows p1)
+    (Pimcomp.Isa.total_mvm_windows p4)
+
+let test_allocator_affects_peak_not_structure () =
+  let _, _, layout = layout_of "tiny" 16 in
+  let peaks strategy =
+    let p = schedule_ll ~strategy layout in
+    Array.fold_left max 0 p.Pimcomp.Isa.memory.Pimcomp.Isa.local_peak_bytes
+  in
+  let naive = peaks Pimcomp.Memalloc.Naive in
+  let add = peaks Pimcomp.Memalloc.Add_reuse in
+  let ag = peaks Pimcomp.Memalloc.Ag_reuse in
+  Alcotest.(check bool) "AG <= ADD <= naive" true (ag <= add && add <= naive);
+  Alcotest.(check bool) "AG strictly better than naive" true (ag < naive)
+
+let test_mvm_instr_fields () =
+  let _, _, layout = layout_of "tiny" 16 in
+  let p = schedule_ht layout in
+  Array.iteri
+    (fun core instrs ->
+      Array.iter
+        (fun (i : Pimcomp.Isa.instr) ->
+          match i.Pimcomp.Isa.op with
+          | Pimcomp.Isa.Mvm m ->
+              Alcotest.(check bool) "windows positive" true (m.windows > 0);
+              Alcotest.(check bool) "xbars positive" true (m.xbars > 0);
+              Alcotest.(check int) "ag on right core" core
+                p.Pimcomp.Isa.ag_core.(m.ag)
+          | _ -> ())
+        instrs)
+    p.Pimcomp.Isa.cores
+
+let test_pipeline_depth () =
+  Alcotest.(check int) "vgg16 depth 16" 16
+    (Pimcomp.Sched_common.pipeline_depth (Nnir.Zoo.vgg16 ~input_size:32 ()));
+  Alcotest.(check int) "tiny depth 4" 4
+    (Pimcomp.Sched_common.pipeline_depth (Nnir.Zoo.tiny ()));
+  Alcotest.(check int) "mlp depth 3" 3
+    (Pimcomp.Sched_common.pipeline_depth (Nnir.Zoo.mlp ()))
+
+let test_layout_consistency () =
+  let _, table, layout = layout_of ~seed:9 "tiny" 16 in
+  (* every AG's core in the layout matches its placement *)
+  Array.iteri
+    (fun node_index (nl : Pimcomp.Layout.node_layout) ->
+      let info = Pimcomp.Partition.entry table node_index in
+      Alcotest.(check int) "replica count"
+        nl.Pimcomp.Layout.replication
+        (Array.length nl.Pimcomp.Layout.replicas);
+      Array.iter
+        (fun (r : Pimcomp.Layout.replica) ->
+          Alcotest.(check int) "ags per replica"
+            info.Pimcomp.Partition.ags_per_replica
+            (Array.length r.Pimcomp.Layout.ag_ids);
+          Alcotest.(check int) "head core is first AG's core"
+            r.Pimcomp.Layout.ag_cores.(0)
+            r.Pimcomp.Layout.head_core;
+          Array.iteri
+            (fun i ag ->
+              Alcotest.(check int) "ag_core table agrees"
+                r.Pimcomp.Layout.ag_cores.(i)
+                layout.Pimcomp.Layout.ag_core.(ag))
+            r.Pimcomp.Layout.ag_ids)
+        nl.Pimcomp.Layout.replicas;
+      (* HT window shares partition [0, windows) *)
+      let covered =
+        Array.fold_left
+          (fun acc (r : Pimcomp.Layout.replica) ->
+            acc + (r.Pimcomp.Layout.window_hi - r.Pimcomp.Layout.window_lo))
+          0 nl.Pimcomp.Layout.replicas
+      in
+      Alcotest.(check int) "windows covered" info.Pimcomp.Partition.windows
+        covered)
+    layout.Pimcomp.Layout.by_node_index
+
+let test_isa_text_roundtrip () =
+  let _, _, layout = layout_of "tiny" 16 in
+  List.iter
+    (fun program ->
+      let text = Pimcomp.Isa_text.to_string program in
+      let parsed = Pimcomp.Isa_text.of_string text in
+      Alcotest.(check string) "round-trips" text
+        (Pimcomp.Isa_text.to_string parsed);
+      Alcotest.(check (list string)) "parsed program well-formed" []
+        (Pimcomp.Isa.check parsed);
+      (* the parsed program simulates identically *)
+      let m1 = Pimsim.Engine.run hw program in
+      let m2 = Pimsim.Engine.run hw parsed in
+      Alcotest.(check (float 1e-9)) "same makespan"
+        m1.Pimsim.Metrics.makespan_ns m2.Pimsim.Metrics.makespan_ns)
+    [ schedule_ht layout; schedule_ll layout ]
+
+let test_isa_text_errors () =
+  (match Pimcomp.Isa_text.of_string "core 0\n  0: MVM ag=1 deps= node=0" with
+  | exception Pimcomp.Isa_text.Parse_error _ -> ()
+  | _ -> Alcotest.fail "missing header accepted");
+  match
+    Pimcomp.Isa_text.of_string
+      "program x mode=HT allocator=naive cores=1 tags=0 depth=1\n\
+       core 0\n\
+      \  0: FROB deps= node=0"
+  with
+  | exception Pimcomp.Isa_text.Parse_error _ -> ()
+  | _ -> Alcotest.fail "unknown instruction accepted"
+
+let test_grouped_network_schedules () =
+  (* mobilenet exercises depthwise partitioning through both schedulers *)
+  let g, table, layout = layout_of "mobilenet" 32 in
+  ignore g;
+  List.iter
+    (fun (label, program) ->
+      (match Pimcomp.Isa.check program with
+      | [] -> ()
+      | e :: _ -> Alcotest.failf "mobilenet %s: %s" label e);
+      Alcotest.(check int)
+        ("mobilenet " ^ label ^ " windows")
+        (expected_mvm_windows table)
+        (Pimcomp.Isa.total_mvm_windows program);
+      let m = Pimsim.Engine.run hw program in
+      Alcotest.(check bool) "completes" false m.Pimsim.Metrics.deadlocked)
+    [ ("HT", schedule_ht layout); ("LL", schedule_ll layout) ]
+
+let test_check_catches_bad_programs () =
+  let _, _, layout = layout_of "tiny" 16 in
+  let p = schedule_ht layout in
+  (* corrupt: unmatched recv *)
+  let bad =
+    {
+      p with
+      Pimcomp.Isa.cores =
+        Array.mapi
+          (fun core instrs ->
+            if core = 0 then
+              Array.append instrs
+                [|
+                  {
+                    Pimcomp.Isa.op =
+                      Pimcomp.Isa.Recv { src = 1; bytes = 8; tag = 999_999 };
+                    deps = [];
+                    node_id = -1;
+                  };
+                |]
+            else instrs)
+          p.Pimcomp.Isa.cores;
+    }
+  in
+  Alcotest.(check bool) "unmatched recv detected" true
+    (Pimcomp.Isa.check bad <> [])
+
+let () =
+  Alcotest.run "schedule"
+    [
+      ( "well-formed",
+        [
+          Alcotest.test_case "tiny" `Quick test_tiny_well_formed;
+          Alcotest.test_case "squeezenet" `Quick test_squeezenet_well_formed;
+          Alcotest.test_case "resnet18" `Quick test_resnet_well_formed;
+        ] );
+      ( "mode-properties",
+        [
+          Alcotest.test_case "HT uses global memory" `Quick
+            test_ht_uses_global_memory;
+          Alcotest.test_case "LL stays on chip" `Quick test_ll_stays_on_chip;
+          Alcotest.test_case "LL rendezvous" `Quick
+            test_ll_has_messages_when_split;
+          Alcotest.test_case "transfer batching" `Quick
+            test_mvms_per_transfer_scaling;
+          Alcotest.test_case "allocator peaks" `Quick
+            test_allocator_affects_peak_not_structure;
+        ] );
+      ( "structure",
+        [
+          Alcotest.test_case "MVM fields" `Quick test_mvm_instr_fields;
+          Alcotest.test_case "pipeline depth" `Quick test_pipeline_depth;
+          Alcotest.test_case "layout consistency" `Quick
+            test_layout_consistency;
+          Alcotest.test_case "ISA text round-trip" `Quick
+            test_isa_text_roundtrip;
+          Alcotest.test_case "ISA text errors" `Quick test_isa_text_errors;
+          Alcotest.test_case "grouped network schedules" `Quick
+            test_grouped_network_schedules;
+          Alcotest.test_case "checker catches corruption" `Quick
+            test_check_catches_bad_programs;
+        ] );
+    ]
