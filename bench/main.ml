@@ -12,6 +12,8 @@
      fig10    memory-reuse optimisation (Fig. 10)
      table2   compile time per stage (Table II)
      ablation GA vs random search vs PUMA-like (DESIGN.md extension)
+     ga       incremental vs full fitness evaluation throughput
+              (writes BENCH_GA.json)
      micro    Bechamel micro-benchmarks of the compiler stages
 
    Networks run at 1/4 of their native input resolution (layer structure
@@ -392,6 +394,98 @@ let batch () =
     "@.ratios near 1.0 mean the single-stream makespan is a faithful@.\
      steady-state interval, as Fig. 8's throughput numbers assume.@."
 
+(* --- GA throughput ------------------------------------------------------------ *)
+
+(* Measures the replication+mapping stage itself: the same GA run under
+   Full (re-evaluate every child from scratch) and Incremental (refresh
+   only the terms the mutation touched) evaluation.  Both paths share
+   their arithmetic, so the trajectories — and the final best fitness —
+   must be bit-identical; only the wall time may differ.  Results land in
+   BENCH_GA.json for the driver. *)
+let ga_throughput () =
+  let net = ("resnet18", Nnir.Zoo.scaled_input_size ~factor:4 "resnet18") in
+  let g = graph_of net in
+  let table = Pimcomp.Partition.of_graph hw g in
+  let core_count = Pimcomp.Partition.fit_core_count table in
+  let timing = Pimhw.Timing.create ~parallelism:20 hw in
+  let params = Pimcomp.Genetic.default_params in
+  (* Best of three repetitions: the runs are deterministic (same seed,
+     same result every time), so the minimum wall time is the cleanest
+     estimate of the evaluation cost under scheduler noise. *)
+  let run evaluation mode =
+    let once () =
+      let rng = Pimcomp.Rng.create ~seed:42 in
+      let t0 = Unix.gettimeofday () in
+      let r =
+        Pimcomp.Genetic.optimize ~params ~evaluation ~mode ~timing ~rng table
+          ~core_count ~max_node_num_in_core:16 ()
+      in
+      (r, Unix.gettimeofday () -. t0)
+    in
+    let r, s = once () in
+    let _, s2 = once () in
+    let _, s3 = once () in
+    (r, Float.min s (Float.min s2 s3))
+  in
+  Fmt.pr
+    "GA mapping-stage throughput on %s@%d, default params (population %d,@.\
+     %d iterations), seed 42.  Incremental and Full must agree bit-for-bit.@.@."
+    (fst net) (snd net) params.Pimcomp.Genetic.population
+    params.Pimcomp.Genetic.iterations;
+  Fmt.pr "%-4s %-12s | %9s %12s %12s | %18s@." "mode" "evaluation" "wall s"
+    "evals" "evals/s" "best fitness";
+  let rows =
+    List.map
+      (fun mode ->
+        let full, full_s = run Pimcomp.Genetic.Full mode in
+        let inc, inc_s = run Pimcomp.Genetic.Incremental mode in
+        let line label (r : Pimcomp.Genetic.result) s =
+          Fmt.pr "%-4s %-12s | %9.2f %12d %12.0f | %18.6g@."
+            (Pimcomp.Mode.to_string mode)
+            label s r.Pimcomp.Genetic.evaluations
+            (float_of_int r.Pimcomp.Genetic.evaluations /. s)
+            r.Pimcomp.Genetic.best_fitness
+        in
+        line "full" full full_s;
+        line "incremental" inc inc_s;
+        let identical =
+          full.Pimcomp.Genetic.best_fitness = inc.Pimcomp.Genetic.best_fitness
+          && full.Pimcomp.Genetic.history = inc.Pimcomp.Genetic.history
+        in
+        Fmt.pr "%-4s speedup %.2fx, trajectories %s@.@."
+          (Pimcomp.Mode.to_string mode)
+          (full_s /. inc_s)
+          (if identical then "identical" else "DIVERGED");
+        (mode, full, full_s, inc, inc_s, identical))
+      Pimcomp.Mode.all
+  in
+  let oc = open_out "BENCH_GA.json" in
+  let json = Format.formatter_of_out_channel oc in
+  Format.fprintf json "{@.  \"network\": \"%s\",@.  \"input_size\": %d,@."
+    (fst net) (snd net);
+  Format.fprintf json
+    "  \"population\": %d,@.  \"iterations\": %d,@.  \"seed\": 42,@.  \
+     \"modes\": [@."
+    params.Pimcomp.Genetic.population params.Pimcomp.Genetic.iterations;
+  List.iteri
+    (fun i (mode, full, full_s, inc, inc_s, identical) ->
+      Format.fprintf json
+        "    { \"mode\": %S, \"full_seconds\": %.3f, \
+         \"incremental_seconds\": %.3f,@.      \"evaluations\": %d, \
+         \"full_evals_per_sec\": %.1f, \"incremental_evals_per_sec\": \
+         %.1f,@.      \"speedup\": %.2f, \"best_fitness\": %.17g, \
+         \"bit_identical\": %b }%s@."
+        (Pimcomp.Mode.to_string mode)
+        full_s inc_s inc.Pimcomp.Genetic.evaluations
+        (float_of_int full.Pimcomp.Genetic.evaluations /. full_s)
+        (float_of_int inc.Pimcomp.Genetic.evaluations /. inc_s)
+        (full_s /. inc_s) inc.Pimcomp.Genetic.best_fitness identical
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Format.fprintf json "  ]@.}@.";
+  close_out oc;
+  Fmt.pr "wrote BENCH_GA.json@."
+
 (* --- Bechamel micro-benchmarks ------------------------------------------------ *)
 
 let micro () =
@@ -459,6 +553,7 @@ let sections : (string * (unit -> unit)) list =
     ("fig10", fig10);
     ("table2", table2);
     ("ablation", ablation);
+    ("ga", ga_throughput);
     ("batch", batch);
     ("micro", micro);
   ]

@@ -31,9 +31,25 @@ type t = {
   (* cores.(c) is the gene list of core c, kept sorted by node_index with
      at most one gene per node per core and strictly positive counts. *)
   mutable cores : gene list array;
+  (* caches kept in sync by [add_ags]/[remove_ags] (the only two places
+     that modify gene lists): node_ags.(n) is the total AG count of
+     weighted node n across all cores, used_xbars.(c) the crossbars
+     occupied on core c.  They make replication / capacity queries O(1)
+     during mutation instead of rescanning every gene list. *)
+  node_ags : int array;
+  used_xbars : int array;
+  (* scratch for the mutation core-visit order; carries nothing between
+     calls, so parent and children share one array *)
+  scratch_order : int array;
 }
 
-let copy t = { t with cores = Array.map (fun l -> l) t.cores }
+let copy t =
+  {
+    t with
+    cores = Array.copy t.cores;
+    node_ags = Array.copy t.node_ags;
+    used_xbars = Array.copy t.used_xbars;
+  }
 
 let core_count t = t.core_count
 let table t = t.table
@@ -43,19 +59,8 @@ let encoded t core = List.map encode t.cores.(core)
 
 (* --- derived quantities ------------------------------------------------- *)
 
-let core_xbars t core =
-  List.fold_left
-    (fun acc g ->
-      acc + (g.ag_count * (Partition.entry t.table g.node_index).xbars_per_ag))
-    0 t.cores.(core)
-
-let total_ags t node_index =
-  Array.fold_left
-    (fun acc gene_list ->
-      List.fold_left
-        (fun acc g -> if g.node_index = node_index then acc + g.ag_count else acc)
-        acc gene_list)
-    0 t.cores
+let core_xbars t core = t.used_xbars.(core)
+let total_ags t node_index = t.node_ags.(node_index)
 
 let replication t node_index =
   let info = Partition.entry t.table node_index in
@@ -83,6 +88,7 @@ type violation =
   | Missing_node of { node_index : int }
   | Partial_replica of { node_index : int; total_ags : int; per_replica : int }
   | Non_positive_gene of { core : int; node_index : int; ag_count : int }
+  | Stale_cache of { node_index : int; cached : int; actual : int }
 
 let pp_violation ppf = function
   | Core_over_capacity { core; used; capacity } ->
@@ -97,13 +103,34 @@ let pp_violation ppf = function
   | Non_positive_gene { core; node_index; ag_count } ->
       Fmt.pf ppf "core %d gene for node %d has count %d" core node_index
         ag_count
+  | Stale_cache { node_index; cached; actual } ->
+      Fmt.pf ppf "node %d AG-count cache says %d but gene lists hold %d"
+        node_index cached actual
+
+(* Validation recomputes everything from the raw gene lists rather than
+   reading the node_ags/used_xbars caches, so a cache-maintenance bug is
+   caught instead of certified. *)
+let raw_core_xbars t core =
+  List.fold_left
+    (fun acc g ->
+      acc + (g.ag_count * (Partition.entry t.table g.node_index).xbars_per_ag))
+    0 t.cores.(core)
+
+let raw_total_ags t node_index =
+  Array.fold_left
+    (fun acc gene_list ->
+      List.fold_left
+        (fun acc g ->
+          if g.node_index = node_index then acc + g.ag_count else acc)
+        acc gene_list)
+    0 t.cores
 
 let violations t =
   let config = Partition.table_config t.table in
   let acc = ref [] in
   Array.iteri
     (fun core gene_list ->
-      let used = core_xbars t core in
+      let used = raw_core_xbars t core in
       if used > config.Pimhw.Config.xbars_per_core then
         acc :=
           Core_over_capacity
@@ -125,7 +152,12 @@ let violations t =
     t.cores;
   Array.iteri
     (fun node_index info ->
-      let total = total_ags t node_index in
+      let total = raw_total_ags t node_index in
+      if total <> t.node_ags.(node_index) then
+        acc :=
+          Stale_cache
+            { node_index; cached = t.node_ags.(node_index); actual = total }
+          :: !acc;
       if total = 0 then acc := Missing_node { node_index } :: !acc
       else if total mod info.Partition.ags_per_replica <> 0 then
         acc :=
@@ -146,14 +178,18 @@ let is_valid t = violations t = []
 let find_gene gene_list node_index =
   List.find_opt (fun g -> g.node_index = node_index) gene_list
 
-let set_gene gene_list node_index ag_count =
-  let rest = List.filter (fun g -> g.node_index <> node_index) gene_list in
-  if ag_count = 0 then rest
-  else
-    List.merge
-      (fun a b -> compare a.node_index b.node_index)
-      [ { node_index; ag_count } ]
-      rest
+(* Insert / replace / drop (ag_count = 0) in a single pass, preserving
+   the sorted-by-node_index invariant and sharing the untouched tail. *)
+let rec set_gene gene_list node_index ag_count =
+  match gene_list with
+  | [] -> if ag_count = 0 then [] else [ { node_index; ag_count } ]
+  | g :: rest ->
+      if g.node_index < node_index then
+        g :: set_gene rest node_index ag_count
+      else if g.node_index = node_index then
+        if ag_count = 0 then rest else { node_index; ag_count } :: rest
+      else if ag_count = 0 then gene_list
+      else { node_index; ag_count } :: gene_list
 
 let add_ags t ~core ~node_index ~count =
   let current =
@@ -161,12 +197,20 @@ let add_ags t ~core ~node_index ~count =
     | Some g -> g.ag_count
     | None -> 0
   in
-  t.cores.(core) <- set_gene t.cores.(core) node_index (current + count)
+  t.cores.(core) <- set_gene t.cores.(core) node_index (current + count);
+  t.node_ags.(node_index) <- t.node_ags.(node_index) + count;
+  t.used_xbars.(core) <-
+    t.used_xbars.(core)
+    + (count * (Partition.entry t.table node_index).xbars_per_ag)
 
 let remove_ags t ~core ~node_index ~count =
   match find_gene t.cores.(core) node_index with
   | Some g when g.ag_count >= count ->
       t.cores.(core) <- set_gene t.cores.(core) node_index (g.ag_count - count);
+      t.node_ags.(node_index) <- t.node_ags.(node_index) - count;
+      t.used_xbars.(core) <-
+        t.used_xbars.(core)
+        - (count * (Partition.entry t.table node_index).xbars_per_ag);
       true
   | _ -> false
 
@@ -186,10 +230,14 @@ let can_accept t ~core ~node_index ~count =
 (* Scatter [count] AGs of a node over cores with space, visiting cores
    in random order (the fitness function judges whether co-locating with
    existing genes or opening fresh cores was the better move).  Returns
-   [false] (and rolls back) if they don't all fit. *)
-let scatter_ags rng t ~node_index ~count =
+   the cores that received AGs, or [None] (and rolls back) if they don't
+   all fit. *)
+let scatter_ags_cores rng t ~node_index ~count =
   let info = Partition.entry t.table node_index in
-  let order = Array.init t.core_count (fun i -> i) in
+  let order = t.scratch_order in
+  for i = 0 to t.core_count - 1 do
+    order.(i) <- i
+  done;
   Rng.shuffle rng order;
   let placed = ref [] in
   let remaining = ref count in
@@ -210,14 +258,17 @@ let scatter_ags rng t ~node_index ~count =
     end
   in
   Array.iter try_core order;
-  if !remaining = 0 then true
+  if !remaining = 0 then Some (List.map fst !placed)
   else begin
     List.iter
       (fun (core, take) ->
         ignore (remove_ags t ~core ~node_index ~count:take))
       !placed;
-    false
+    None
   end
+
+let scatter_ags rng t ~node_index ~count =
+  scatter_ags_cores rng t ~node_index ~count <> None
 
 (* --- construction ------------------------------------------------------- *)
 
@@ -227,7 +278,15 @@ let create_empty table ~core_count ~max_node_num_in_core =
   if core_count <= 0 then invalid_arg "Chromosome: core_count <= 0";
   if max_node_num_in_core <= 0 then
     invalid_arg "Chromosome: max_node_num_in_core <= 0";
-  { table; core_count; max_node_num_in_core; cores = Array.make core_count [] }
+  {
+    table;
+    core_count;
+    max_node_num_in_core;
+    cores = Array.make core_count [];
+    node_ags = Array.make (Partition.num_weighted table) 0;
+    used_xbars = Array.make core_count 0;
+    scratch_order = Array.make core_count 0;
+  }
 
 (* Random initial individual: one replica per node, AGs scattered.  The
    paper also randomises the initial replication number; we optionally add
@@ -327,28 +386,68 @@ let mutation_name = function
   | Spread_gene -> "III:spread"
   | Merge_gene -> "IV:merge"
 
+(* Each mutation reports what it moved: the nodes whose replication or
+   placement changed and the cores whose gene lists changed.  [None]
+   means the mutation was inapplicable and the chromosome is unchanged —
+   the incremental fitness evaluator refreshes exactly the reported
+   set. *)
+type touched = { t_nodes : int list; t_cores : int list }
+
 (* Mutation I: pick a node, add one replica, scatter its AGs. *)
 let mutate_add_replica rng t =
   let n = Partition.num_weighted t.table in
   let node_index = Rng.int rng n in
   let info = Partition.entry t.table node_index in
-  scatter_ags rng t ~node_index ~count:info.Partition.ags_per_replica
+  match
+    scatter_ags_cores rng t ~node_index ~count:info.Partition.ags_per_replica
+  with
+  | Some cores -> Some { t_nodes = [ node_index ]; t_cores = cores }
+  | None -> None
+
+(* Selecting from the nodes/cores satisfying a predicate used to build
+   the candidate list and [Rng.pick_list] it; counting then indexing
+   selects the same element with the same single draw, allocation-free
+   (candidates were listed ascending, so the nth match is the pick). *)
+let nth_matching ~n ~p nth =
+  let seen = ref 0 in
+  let found = ref (-1) in
+  (try
+     for i = 0 to n - 1 do
+       if p i then
+         if !seen = nth then begin
+           found := i;
+           raise Exit
+         end
+         else incr seen
+     done
+   with Exit -> ());
+  assert (!found >= 0);
+  !found
+
+let count_matching ~n ~p =
+  let total = ref 0 in
+  for i = 0 to n - 1 do
+    if p i then incr total
+  done;
+  !total
 
 (* Mutation II: pick a node with R > 1, remove one replica, recovering
    crossbars from random genes. *)
 let mutate_remove_replica rng t =
   let n = Partition.num_weighted t.table in
-  let candidates =
-    List.filter (fun i -> replication t i > 1) (List.init n (fun i -> i))
-  in
-  match candidates with
-  | [] -> false
-  | _ ->
-      let node_index = Rng.pick_list rng candidates in
+  let p i = replication t i > 1 in
+  match count_matching ~n ~p with
+  | 0 -> None
+  | total ->
+      let node_index = nth_matching ~n ~p (Rng.int rng total) in
       let info = Partition.entry t.table node_index in
       let remaining = ref info.Partition.ags_per_replica in
-      let order = Array.init t.core_count (fun i -> i) in
+      let order = t.scratch_order in
+      for i = 0 to t.core_count - 1 do
+        order.(i) <- i
+      done;
       Rng.shuffle rng order;
+      let cores = ref [] in
       Array.iter
         (fun core ->
           if !remaining > 0 then
@@ -356,73 +455,101 @@ let mutate_remove_replica rng t =
             | Some g ->
                 let take = min g.ag_count !remaining in
                 ignore (remove_ags t ~core ~node_index ~count:take);
+                cores := core :: !cores;
                 remaining := !remaining - take
             | None -> ())
         order;
       assert (!remaining = 0);
-      true
+      Some { t_nodes = [ node_index ]; t_cores = !cores }
+
+(* Selecting a random gene used to build the full (core, gene) candidate
+   list and [Rng.pick_list] it; these count-then-index scans select the
+   same element with the same single [Rng.int] draw (pick_list indexes
+   from the head of the consed — i.e. reversed — list, hence the
+   [total - 1 - draw]) without allocating per candidate.  Mutation is on
+   the GA's critical path next to the incremental evaluator, so the
+   allocation churn showed. *)
+let count_genes t ~p =
+  let total = ref 0 in
+  Array.iter
+    (fun gene_list -> List.iter (fun g -> if p g then incr total) gene_list)
+    t.cores;
+  !total
+
+exception Found_gene of int * gene
+
+let nth_gene t ~p nth =
+  let seen = ref 0 in
+  try
+    Array.iteri
+      (fun core gene_list ->
+        List.iter
+          (fun g ->
+            if p g then begin
+              if !seen = nth then raise (Found_gene (core, g));
+              incr seen
+            end)
+          gene_list)
+      t.cores;
+    assert false
+  with Found_gene (core, g) -> (core, g)
+
+let random_gene rng t ~p =
+  match count_genes t ~p with
+  | 0 -> None
+  | total -> Some (nth_gene t ~p (total - 1 - Rng.int rng total))
 
 (* Mutation III: pick a gene with >= 2 AGs and spread part of it to
    other cores. *)
 let mutate_spread rng t =
-  let candidates = ref [] in
-  Array.iteri
-    (fun core gene_list ->
-      List.iter
-        (fun g -> if g.ag_count >= 2 then candidates := (core, g) :: !candidates)
-        gene_list)
-    t.cores;
-  match !candidates with
-  | [] -> false
-  | cs ->
-      let core, g = Rng.pick_list rng cs in
+  match random_gene rng t ~p:(fun g -> g.ag_count >= 2) with
+  | None -> None
+  | Some (core, g) -> (
       let move = Rng.range rng 1 (g.ag_count - 1) in
       ignore (remove_ags t ~core ~node_index:g.node_index ~count:move);
-      if scatter_ags rng t ~node_index:g.node_index ~count:move then true
-      else begin
-        add_ags t ~core ~node_index:g.node_index ~count:move;
-        false
-      end
+      match scatter_ags_cores rng t ~node_index:g.node_index ~count:move with
+      | Some cores ->
+          Some { t_nodes = [ g.node_index ]; t_cores = core :: cores }
+      | None ->
+          add_ags t ~core ~node_index:g.node_index ~count:move;
+          None)
 
 (* Mutation IV: pick a gene and merge all of it into the same node's gene
    on another core. *)
 let mutate_merge rng t =
-  let candidates = ref [] in
-  Array.iteri
-    (fun core gene_list ->
-      List.iter (fun g -> candidates := (core, g) :: !candidates) gene_list)
-    t.cores;
-  match !candidates with
-  | [] -> false
-  | cs -> (
-      let src_core, g = Rng.pick_list rng cs in
-      let targets =
-        List.init t.core_count (fun c -> c)
-        |> List.filter (fun c ->
-               c <> src_core
-               && find_gene t.cores.(c) g.node_index <> None
-               && free_xbars t c
-                  >= g.ag_count
-                     * (Partition.entry t.table g.node_index)
-                         .Partition.xbars_per_ag)
+  match random_gene rng t ~p:(fun _ -> true) with
+  | None -> None
+  | Some (src_core, g) -> (
+      let xbars_per_ag =
+        (Partition.entry t.table g.node_index).Partition.xbars_per_ag
       in
-      match targets with
-      | [] -> false
-      | ts ->
-          let dst = Rng.pick_list rng ts in
+      let p c =
+        c <> src_core
+        && find_gene t.cores.(c) g.node_index <> None
+        && free_xbars t c >= g.ag_count * xbars_per_ag
+      in
+      match count_matching ~n:t.core_count ~p with
+      | 0 -> None
+      | total ->
+          let dst = nth_matching ~n:t.core_count ~p (Rng.int rng total) in
           ignore (remove_ags t ~core:src_core ~node_index:g.node_index
                     ~count:g.ag_count);
           add_ags t ~core:dst ~node_index:g.node_index ~count:g.ag_count;
-          true)
+          Some { t_nodes = [ g.node_index ]; t_cores = [ src_core; dst ] })
 
-let mutate rng t kind =
+let mutate_touched rng t kind =
   match kind with
   | Add_replica -> mutate_add_replica rng t
   | Remove_replica -> mutate_remove_replica rng t
   | Spread_gene -> mutate_spread rng t
   | Merge_gene -> mutate_merge rng t
 
-let mutate_random rng t = mutate rng t (Rng.pick rng all_mutations)
+let mutate rng t kind = mutate_touched rng t kind <> None
+
+let mutate_random_touched rng t =
+  mutate_touched rng t (Rng.pick rng all_mutations)
+
+let mutate_random rng t = mutate_random_touched rng t <> None
 
 (* --- concrete AG placement ---------------------------------------------- *)
 

@@ -68,6 +68,9 @@ type violation =
   | Missing_node of { node_index : int }
   | Partial_replica of { node_index : int; total_ags : int; per_replica : int }
   | Non_positive_gene of { core : int; node_index : int; ag_count : int }
+  | Stale_cache of { node_index : int; cached : int; actual : int }
+      (** The O(1) per-node AG-count cache disagrees with the gene
+          lists; indicates a bookkeeping bug, not a bad mapping. *)
 
 val violations : t -> violation list
 val is_valid : t -> bool
@@ -80,9 +83,21 @@ type mutation = Add_replica | Remove_replica | Spread_gene | Merge_gene
 val all_mutations : mutation array
 val mutation_name : mutation -> string
 
-val mutate : Rng.t -> t -> mutation -> bool
-(** Applies the mutation in place; [false] means it was inapplicable and
+type touched = { t_nodes : int list; t_cores : int list }
+(** What a mutation moved: weighted nodes whose replication or placement
+    changed, and cores whose gene lists changed (either may contain
+    duplicates).  Drives the incremental fitness evaluator. *)
+
+val mutate_touched : Rng.t -> t -> mutation -> touched option
+(** Applies the mutation in place; [None] means it was inapplicable and
     the chromosome is unchanged. *)
+
+val mutate_random_touched : Rng.t -> t -> touched option
+(** A uniformly random mutation, reporting what it touched.  Consumes
+    the same RNG stream as {!mutate_random}. *)
+
+val mutate : Rng.t -> t -> mutation -> bool
+(** [mutate_touched] without the report. *)
 
 val mutate_random : Rng.t -> t -> bool
 

@@ -28,7 +28,8 @@ type stage_seconds = {
   partitioning : float;
   replicating_mapping : float;
   scheduling : float;
-  total : float;
+  total : float;  (** sum of the per-stage wall-clock times *)
+  total_cpu : float;  (** CPU seconds over the whole compilation *)
 }
 
 type t = {

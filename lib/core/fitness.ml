@@ -13,7 +13,25 @@
    after its provider has produced the first W of its output and then
    cannot run faster than the provider delivers the remaining (1 - W) —
    the paper's f_x = min(R_p / R_x, 1) rate cap, realised here as
-   eff_x = max(S_x, eff_p * (1 - W_x)).  F_LL = max finish time. *)
+   eff_x = max(S_x, eff_p * (1 - W_x)).  F_LL = max finish time.
+
+   Both objectives decompose into per-weighted-node terms (replication,
+   split count, communication penalty) and per-core terms (segment time,
+   traffic) glued together by cheap order-insensitive reductions (maxima,
+   bank sums).  The evaluator below exploits that: a [ctx] holds every
+   chromosome-independent constant, a [state] caches the per-node and
+   per-core terms, and a mutation only re-derives the terms of the nodes
+   and cores it touched.  The full path ([evaluate], [ht], [ll]) runs the
+   very same refresh functions over the all-dirty set, so incremental and
+   full evaluation are bit-identical by construction. *)
+
+(* --- objectives ---------------------------------------------------------- *)
+
+type objective = Minimize_time | Minimize_energy_delay
+
+let objective_name = function
+  | Minimize_time -> "time"
+  | Minimize_energy_delay -> "energy-delay"
 
 (* --- communication penalty ----------------------------------------------- *)
 
@@ -49,13 +67,13 @@ let per_window_comm_ns timing (info : Partition.info) ~splits ~replication =
     in
     float_of_int splits /. float_of_int (max 1 replication) *. transfer
 
-(* --- HT ------------------------------------------------------------------ *)
+(* --- per-core segment time (Fig. 5) -------------------------------------- *)
 
 (* Estimated busy time of one core given (ag_count, cycles) pairs. *)
 let core_time timing pairs =
   let pairs =
     List.filter (fun (ags, cycles) -> ags > 0 && cycles > 0) pairs
-    |> List.sort (fun (_, c1) (_, c2) -> compare c1 c2)
+    |> List.sort (fun (_, c1) (_, c2) -> Int.compare c1 c2)
   in
   let total_ags = List.fold_left (fun acc (ags, _) -> acc + ags) 0 pairs in
   let time = ref 0.0 in
@@ -75,93 +93,7 @@ let core_time timing pairs =
     pairs;
   !time
 
-let ht timing (chrom : Chromosome.t) =
-  let table = Chromosome.table chrom in
-  let graph = Partition.table_graph table in
-  let config = Partition.table_config table in
-  let n = Partition.num_weighted table in
-  let penalty = Array.make n 0.0 in
-  let cycles_of = Array.make n 0 in
-  let fresh_bytes = Array.make n 0 in
-  for node_index = 0 to n - 1 do
-    let info = Partition.entry table node_index in
-    let r = Chromosome.replication chrom node_index in
-    cycles_of.(node_index) <-
-      Partition.ceil_div info.Partition.windows (max 1 r);
-    fresh_bytes.(node_index) <-
-      Sched_common.fresh_input_bytes_per_window graph info;
-    penalty.(node_index) <-
-      per_window_comm_ns timing info
-        ~splits:(split_replicas chrom node_index)
-        ~replication:r
-  done;
-  (* Per-core compute/accumulation time and per-core global traffic; the
-     traffic serialises per global-memory bank (as in the simulator). *)
-  let core_count = Chromosome.core_count chrom in
-  (* Conservative queueing model: transfer batches from different cores
-     arrive in bursts, so a bank sustains roughly half its nominal rate.
-     Optimising against the pessimistic figure keeps the GA away from
-     mappings whose mean-rate traffic only just fits. *)
-  let banks = max 1 (config.Pimhw.Config.global_memory_banks * 3 / 4) in
-  let bank_bytes = Array.make banks 0.0 in
-  let worst = ref 0.0 in
-  for core = 0 to core_count - 1 do
-    let genes = Chromosome.genes chrom core in
-    let pairs =
-      List.map
-        (fun (g : Chromosome.gene) -> (g.ag_count, cycles_of.(g.node_index)))
-        genes
-    in
-    let comm = ref 0.0 and traffic = ref 0.0 in
-    let working_set = ref 0.0 in
-    List.iter
-      (fun (g : Chromosome.gene) ->
-        let info = Partition.entry table g.node_index in
-        let cycles = float_of_int cycles_of.(g.node_index) in
-        comm := !comm +. (cycles *. penalty.(g.node_index));
-        (* input loads are proportional to the AG share of the replica;
-           output stores to the per-window result *)
-        let share =
-          float_of_int g.ag_count
-          /. float_of_int (max 1 info.Partition.ags_per_replica)
-        in
-        let per_window_bytes =
-          fresh_bytes.(g.node_index) + info.Partition.output_bytes_per_window
-        in
-        traffic := !traffic +. (cycles *. share *. float_of_int per_window_bytes);
-        (* simultaneously live bytes: a 2-window transfer batch of inputs
-           and staged outputs for every AG on this core *)
-        working_set :=
-          !working_set
-          +. (2.0 *. share *. float_of_int per_window_bytes))
-      genes;
-    (* Working sets beyond the scratchpad spill: every overflowing byte
-       makes a round trip per operation cycle (cf. Memalloc capacities). *)
-    let overflow =
-      Float.max 0.0
-        (!working_set
-        -. float_of_int config.Pimhw.Config.local_memory_bytes)
-    in
-    if overflow > 0.0 then begin
-      let max_cycles =
-        List.fold_left
-          (fun acc (g : Chromosome.gene) -> max acc cycles_of.(g.node_index))
-          0 genes
-      in
-      traffic := !traffic +. (2.0 *. overflow *. float_of_int max_cycles)
-    end;
-    bank_bytes.(core mod banks) <- bank_bytes.(core mod banks) +. !traffic;
-    let t = core_time timing pairs +. !comm in
-    if t > !worst then worst := t
-  done;
-  Array.iter
-    (fun bytes ->
-      let t = bytes /. config.Pimhw.Config.global_memory_gbps in
-      if t > !worst then worst := t)
-    bank_bytes;
-  !worst
-
-(* --- LL ------------------------------------------------------------------ *)
+(* --- standalone node time (exposed for tests) ----------------------------- *)
 
 (* Standalone uninterrupted execution time of a node given replication.
    [comm_ns] is the extra per-window cost of split replicas. *)
@@ -194,72 +126,447 @@ let overlap_fraction cores provider_cores =
   match cores with
   | [] -> 1.0
   | _ ->
-      let shared =
-        List.fold_left
-          (fun acc c -> if List.mem c provider_cores then acc + 1 else acc)
-          0 cores
+      let rec mem (c : int) = function
+        | [] -> false
+        | x :: rest -> x = c || mem c rest
       in
-      float_of_int shared /. float_of_int (List.length cores)
+      let shared = ref 0 and len = ref 0 in
+      List.iter
+        (fun c ->
+          incr len;
+          if mem c provider_cores then incr shared)
+        cores;
+      float_of_int !shared /. float_of_int !len
 
-let ll timing (chrom : Chromosome.t) =
-  let table = Chromosome.table chrom in
+(* --- evaluation context --------------------------------------------------- *)
+
+(* Chromosome-independent constants of the LL chain, one per graph node. *)
+type ll_node = {
+  n_widx : int;              (* dense weighted index, or -1 *)
+  n_inputs : Nnir.Node.id list;
+  n_anc_widx : int list;     (* weighted ancestors, for VFU replication *)
+  n_wait : float;            (* waiting fraction W *)
+  n_fill_k : int;            (* input rows needed before the first output *)
+  n_noc_row : float;         (* mesh hop cost of one output row *)
+  n_vec_row : float;         (* VFU cost of one output row *)
+  n_vec_total : float;       (* whole-output VFU cost (non-weighted S_x) *)
+  n_vec_fill : float;        (* fill cost when this node is a VFU provider *)
+  mutable n_frontier : int list;
+  (* weighted indices whose holder sets union to this node's core set:
+     the node's own index for weighted nodes, otherwise the frontier of
+     its inputs (nearest weighted ancestors along every path). *)
+}
+
+type ll_ctx = {
+  topo : Nnir.Node.id array;
+  nodes : ll_node array;
+  holder_deps : int list array;
+  (* holder_deps.(w): graph nodes whose core set contains node w's
+     holders — the nodes whose cached LL terms go stale when w moves. *)
+  succs : int list array;    (* consumers of each graph node *)
+}
+
+(* Everything the fitness functions need that does not depend on the
+   chromosome: per-node timing constants and machine parameters.  Built
+   once per GA run and shared by every evaluation. *)
+type ctx = {
+  mode : Mode.t;
+  objective : objective;
+  timing : Pimhw.Timing.t;
+  core_count : int;
+  infos : Partition.info array;
+  per_window_bytes : int array;  (* fresh input + output bytes per window *)
+  transfer_ns : float array;     (* split-replica accumulation transfer *)
+  op_cycle : float array;        (* operation cycle at ags_per_replica *)
+  c_vec_row : float array;       (* VFU cost of one full output row *)
+  local_bytes : float;
+  banks : int;
+  gmem_gbps : float;
+  xbar_capacity : int;
+  ll : ll_ctx option;            (* Some iff mode = Low_latency *)
+}
+
+let make_ll_ctx timing table =
   let g = Partition.table_graph table in
   let n = Nnir.Graph.num_nodes g in
-  let start = Array.make n 0.0 and eff = Array.make n 0.0 in
-  (* cores each node's work lives on: own AG cores for weighted nodes,
-     inherited from providers otherwise *)
-  let cores : int list array = Array.make n [] in
+  let nodes =
+    Array.init n (fun id ->
+        let node = Nnir.Graph.node g id in
+        let op = Nnir.Node.op node in
+        let inputs = Nnir.Node.inputs node in
+        let widx = Partition.index_of_node table id in
+        let anc_widx =
+          if widx >= 0 then []
+          else
+            List.map
+              (Partition.index_of_node table)
+              (Nnir.Graph.weighted_ancestors g id)
+        in
+        let _, row_bytes = Sched_common.row_geometry node in
+        let row_elements = row_bytes / Nnir.Tensor.bytes_per_element in
+        let n_wait, n_fill_k, n_noc_row, n_vec_row =
+          match inputs with
+          | [] -> (0.0, 1, 0.0, 0.0)
+          | src :: _ ->
+              let sh = Nnir.Node.output_shape (Nnir.Graph.node g src) in
+              let in_rows =
+                if Nnir.Tensor.is_chw sh then Nnir.Tensor.height sh else 1
+              in
+              ( Receptive.waiting_fraction op ~in_rows,
+                max 1
+                  (min (Receptive.rows_needed op ~out_row:1 ~in_rows) in_rows),
+                Pimhw.Timing.noc_ns timing ~hops:3 ~bytes:row_bytes,
+                Pimhw.Timing.vec_ns timing ~elements:row_elements )
+        in
+        {
+          n_widx = widx;
+          n_inputs = inputs;
+          n_anc_widx = anc_widx;
+          n_wait;
+          n_fill_k;
+          n_noc_row;
+          n_vec_row;
+          n_vec_total =
+            Pimhw.Timing.vec_ns timing
+              ~elements:
+                (Nnir.Tensor.num_elements (Nnir.Node.output_shape node));
+          n_vec_fill = Pimhw.Timing.vec_ns timing ~elements:row_elements;
+          n_frontier = [];
+        })
+  in
+  let topo = Nnir.Graph.topo_order g in
+  (* Frontier propagation needs inputs resolved first, hence topo order. *)
+  Array.iter
+    (fun id ->
+      let nd = nodes.(id) in
+      nd.n_frontier <-
+        (if nd.n_widx >= 0 then [ nd.n_widx ]
+         else
+           List.sort_uniq compare
+             (List.concat_map (fun src -> nodes.(src).n_frontier) nd.n_inputs)))
+    topo;
+  let holder_deps = Array.make (Partition.num_weighted table) [] in
+  let succs = Array.make n [] in
+  Array.iter
+    (fun id ->
+      let nd = nodes.(id) in
+      List.iter
+        (fun w -> holder_deps.(w) <- id :: holder_deps.(w))
+        nd.n_frontier;
+      List.iter (fun src -> succs.(src) <- id :: succs.(src)) nd.n_inputs)
+    topo;
+  { topo; nodes; holder_deps; succs }
+
+let context ?(objective = Minimize_time) (mode : Mode.t)
+    (timing : Pimhw.Timing.t) (table : Partition.table) ~core_count =
+  let config = Partition.table_config table in
+  let graph = Partition.table_graph table in
+  let infos = Partition.entries table in
+  let n = Array.length infos in
+  let per_window_bytes = Array.make n 0 in
+  let transfer_ns = Array.make n 0.0 in
+  let op_cycle = Array.make n 0.0 in
+  let c_vec_row = Array.make n 0.0 in
+  for w = 0 to n - 1 do
+    let info = infos.(w) in
+    per_window_bytes.(w) <-
+      Sched_common.fresh_input_bytes_per_window graph info
+      + info.Partition.output_bytes_per_window;
+    let bytes = info.Partition.out_channels * Nnir.Tensor.bytes_per_element in
+    transfer_ns.(w) <-
+      Pimhw.Timing.noc_ns timing ~hops:3 ~bytes
+      +. Pimhw.Timing.vec_ns timing ~elements:info.Partition.out_channels;
+    op_cycle.(w) <-
+      Pimhw.Timing.operation_cycle_ns timing
+        ~ags_in_core:info.Partition.ags_per_replica;
+    c_vec_row.(w) <-
+      Pimhw.Timing.vec_ns timing
+        ~elements:(info.Partition.out_channels * info.Partition.out_width)
+  done;
+  {
+    mode;
+    objective;
+    timing;
+    core_count;
+    infos;
+    per_window_bytes;
+    transfer_ns;
+    op_cycle;
+    c_vec_row;
+    local_bytes = float_of_int config.Pimhw.Config.local_memory_bytes;
+    (* Conservative queueing model: transfer batches from different cores
+       arrive in bursts, so a bank sustains roughly half its nominal rate.
+       Optimising against the pessimistic figure keeps the GA away from
+       mappings whose mean-rate traffic only just fits. *)
+    banks = max 1 (config.Pimhw.Config.global_memory_banks * 3 / 4);
+    gmem_gbps = config.Pimhw.Config.global_memory_gbps;
+    xbar_capacity = core_count * config.Pimhw.Config.xbars_per_core;
+    ll =
+      (match mode with
+      | Mode.Low_latency -> Some (make_ll_ctx timing table)
+      | Mode.High_throughput -> None);
+  }
+
+(* --- cached evaluation state ---------------------------------------------- *)
+
+(* Per-node and per-core terms of the current chromosome.  Every field is
+   a pure function of the chromosome computed by [refresh_node] /
+   [refresh_core]; the assembly steps below combine them with
+   order-insensitive reductions only, so refreshing just the dirty
+   entries reproduces the full recomputation exactly. *)
+type state = {
+  ctx : ctx;
+  chrom : Chromosome.t;
+  (* per weighted node *)
+  repl : int array;
+  splits : int array;
+  cycles : int array;
+  penalty : float array;
+  holders : int list array;      (* cores holding the node, ascending *)
+  vec_share : float array;       (* LL congestion VFU share *)
+  (* per core *)
+  core_busy : float array;       (* segment time + accumulation extras *)
+  core_traffic : float array;    (* HT global-memory bytes *)
+  core_xbars : int array;
+  (* per graph node, LL mode only ([||] under HT): the holder-set
+     propagation and mesh-overlap terms of the chain, which depend only
+     on the holder sets of each node's weighted frontier — not on the
+     chain recurrence — and so can be refreshed per dirty node. *)
+  ll_cores : int list array;
+  ll_remote : float array;
+  ll_start : float array;        (* chain scratch, overwritten per eval *)
+  ll_eff : float array;
+  bank_scratch : float array;    (* HT bank-sum scratch, zeroed per eval *)
+  (* dirty-set scratch for [Inc.update], all-false between updates *)
+  core_dirty : bool array;
+  scan_dirty : bool array;
+  ll_dirty : bool array;
+  ll_dirty2 : bool array;
+  (* [refresh_core] segment scratch; a core holds at most one gene per
+     node, so num_weighted entries always suffice *)
+  seg_ags : int array;
+  seg_cyc : int array;
+  mutable time : float;
+  mutable fit : float;
+}
+
+(* One pass over the cores re-derives everything the fitness needs about
+   a weighted node: replication, split replicas, operation cycles, the
+   per-window accumulation penalty and the holder set. *)
+let refresh_node ?(only_dirty = false) st w =
+  let ctx = st.ctx in
+  let info = ctx.infos.(w) in
+  let apr = info.Partition.ags_per_replica in
+  let total = ref 0 and whole = ref 0 in
+  let holders = ref [] in
+  (* gene lists are sorted by node_index, so stop at the first one past w *)
+  let rec scan core = function
+    | [] -> ()
+    | (g : Chromosome.gene) :: rest ->
+        if g.node_index < w then scan core rest
+        else if g.node_index = w then begin
+          total := !total + g.ag_count;
+          whole := !whole + (g.ag_count / apr);
+          holders := core :: !holders
+        end
+  in
+  (* [only_dirty] skips cores outside the caller's candidate mask
+     ([core_dirty] + [scan_dirty]): a core whose gene list did not change
+     holds the node now iff it held it before, so scanning the previous
+     holders plus the dirty cores finds every current holder. *)
+  for core = ctx.core_count - 1 downto 0 do
+    if
+      (not only_dirty)
+      || st.core_dirty.(core)
+      || st.scan_dirty.(core)
+    then scan core (Chromosome.genes st.chrom core)
+  done;
+  let r = !total / apr in
+  st.repl.(w) <- r;
+  st.splits.(w) <- max 0 (r - !whole);
+  st.cycles.(w) <- Partition.ceil_div info.Partition.windows (max 1 r);
+  st.penalty.(w) <-
+    (if st.splits.(w) <= 0 then 0.0
+     else
+       float_of_int st.splits.(w)
+       /. float_of_int (max 1 r)
+       *. ctx.transfer_ns.(w));
+  st.holders.(w) <- !holders;
+  st.vec_share.(w) <-
+    float_of_int info.Partition.out_height
+    /. float_of_int (max 1 (List.length !holders))
+    *. ctx.c_vec_row.(w)
+
+(* Re-derive a core's cached terms from its gene list and the per-node
+   caches.  HT: Fig. 5 segment time plus accumulation comm, and the
+   global-memory traffic with the working-set spill model.  LL: segment
+   time plus the VFU share and accumulation extras (congestion bound). *)
+(* Allocation-free [core_time] over the state's scratch arrays: genes
+   are insertion-sorted by cycle count as they stream past
+   ([seg_insert]), and the segment accumulation runs over the sorted
+   prefix ([seg_time]).  Same ascending-cycle float-addition order as
+   [core_time] (tie order is irrelevant: equal cycles give zero-width
+   segments), so the result is bit-identical. *)
+let seg_insert st len total cycles count =
+  let ags = st.seg_ags and cyc = st.seg_cyc in
+  let i = ref !len in
+  while !i > 0 && cyc.(!i - 1) > cycles do
+    cyc.(!i) <- cyc.(!i - 1);
+    ags.(!i) <- ags.(!i - 1);
+    decr i
+  done;
+  cyc.(!i) <- cycles;
+  ags.(!i) <- count;
+  incr len;
+  total := !total + count
+
+let seg_time st len total =
+  let ags = st.seg_ags and cyc = st.seg_cyc in
+  let time = ref 0.0 in
+  let remaining = ref total in
+  let prev = ref 0 in
+  for i = 0 to len - 1 do
+    let span = cyc.(i) - !prev in
+    if span > 0 then begin
+      time :=
+        !time
+        +. float_of_int span
+           *. Pimhw.Timing.operation_cycle_ns st.ctx.timing
+                ~ags_in_core:!remaining;
+      prev := cyc.(i)
+    end;
+    remaining := !remaining - ags.(i)
+  done;
+  !time
+
+let refresh_core st core =
+  let ctx = st.ctx in
+  let genes = Chromosome.genes st.chrom core in
+  let len = ref 0 and total = ref 0 in
+  st.core_xbars.(core) <- Chromosome.core_xbars st.chrom core;
+  match ctx.mode with
+  | Mode.High_throughput ->
+      let comm = ref 0.0 and traffic = ref 0.0 in
+      let working_set = ref 0.0 in
+      let max_cycles = ref 0 in
+      List.iter
+        (fun (g : Chromosome.gene) ->
+          let w = g.node_index in
+          let c = st.cycles.(w) in
+          if g.ag_count > 0 && c > 0 then seg_insert st len total c g.ag_count;
+          if c > !max_cycles then max_cycles := c;
+          let cycles = float_of_int c in
+          comm := !comm +. (cycles *. st.penalty.(w));
+          (* input loads are proportional to the AG share of the replica;
+             output stores to the per-window result *)
+          let share =
+            float_of_int g.ag_count
+            /. float_of_int (max 1 ctx.infos.(w).Partition.ags_per_replica)
+          in
+          let per_window_bytes = ctx.per_window_bytes.(w) in
+          traffic :=
+            !traffic +. (cycles *. share *. float_of_int per_window_bytes);
+          (* simultaneously live bytes: a 2-window transfer batch of inputs
+             and staged outputs for every AG on this core *)
+          working_set :=
+            !working_set +. (2.0 *. share *. float_of_int per_window_bytes))
+        genes;
+      (* Working sets beyond the scratchpad spill: every overflowing byte
+         makes a round trip per operation cycle (cf. Memalloc capacities). *)
+      let overflow = Float.max 0.0 (!working_set -. ctx.local_bytes) in
+      if overflow > 0.0 then
+        traffic := !traffic +. (2.0 *. overflow *. float_of_int !max_cycles);
+      st.core_traffic.(core) <- !traffic;
+      st.core_busy.(core) <- seg_time st !len !total +. !comm
+  | Mode.Low_latency ->
+      let extra = ref 0.0 in
+      List.iter
+        (fun (g : Chromosome.gene) ->
+          let w = g.node_index in
+          let c = st.cycles.(w) in
+          if g.ag_count > 0 && c > 0 then seg_insert st len total c g.ag_count;
+          extra :=
+            !extra +. st.vec_share.(w) +. (float_of_int c *. st.penalty.(w)))
+        genes;
+      st.core_busy.(core) <- seg_time st !len !total +. !extra
+
+(* Cores each node's work lives on: own AG cores for weighted nodes,
+   inherited from the weighted frontier otherwise. *)
+let refresh_ll_cores st id =
+  let lc = match st.ctx.ll with Some l -> l | None -> assert false in
+  st.ll_cores.(id) <-
+    (match lc.nodes.(id).n_frontier with
+    | [ w ] -> st.holders.(w)
+    | ws ->
+        List.sort_uniq Int.compare
+          (List.concat_map (fun w -> st.holders.(w)) ws))
+
+(* Worst non-overlap with any provider: the fraction of this node's rows
+   that need a mesh hop. *)
+let refresh_ll_remote st id =
+  let lc = match st.ctx.ll with Some l -> l | None -> assert false in
+  st.ll_remote.(id) <-
+    List.fold_left
+      (fun acc src ->
+        Float.max acc
+          (1.0 -. overlap_fraction st.ll_cores.(id) st.ll_cores.(src)))
+      0.0 lc.nodes.(id).n_inputs
+
+(* F_HT from the caches: max over core busy times and per-bank
+   global-memory drain times (traffic serialises per bank, as in the
+   simulator). *)
+let ht_time st =
+  let ctx = st.ctx in
+  let worst = ref 0.0 in
+  for core = 0 to ctx.core_count - 1 do
+    if st.core_busy.(core) > !worst then worst := st.core_busy.(core)
+  done;
+  let bank_bytes = st.bank_scratch in
+  Array.fill bank_bytes 0 (Array.length bank_bytes) 0.0;
+  for core = 0 to ctx.core_count - 1 do
+    bank_bytes.(core mod ctx.banks) <-
+      bank_bytes.(core mod ctx.banks) +. st.core_traffic.(core)
+  done;
+  Array.iter
+    (fun bytes ->
+      let t = bytes /. ctx.gmem_gbps in
+      if t > !worst then worst := t)
+    bank_bytes;
+  !worst
+
+(* F_LL from the caches: the waiting-fraction chain over the topology
+   (Fig. 6), bounded below by the busiest core (congestion). *)
+let ll_time st =
+  let ctx = st.ctx in
+  let lc = match ctx.ll with Some l -> l | None -> assert false in
+  let start = st.ll_start and eff = st.ll_eff in
   let finish = ref 0.0 in
   Array.iter
     (fun id ->
-      let node = Nnir.Graph.node g id in
-      let op = Nnir.Node.op node in
-      cores.(id) <-
-        (match Partition.index_of_node table id with
-        | -1 ->
-            List.fold_left
-              (fun acc src -> List.sort_uniq compare (cores.(src) @ acc))
-              [] (Nnir.Node.inputs node)
-        | node_index -> Chromosome.cores_of_node chrom node_index);
+      let nd = lc.nodes.(id) in
       (* Replication of this node's work: its own for weighted nodes, the
          max of its weighted ancestors' for VFU/memory ops (Section IV-D2:
          other operations are divided according to the predecessor conv's
          replication). *)
       let replication =
-        if Nnir.Node.is_weighted node then
-          Chromosome.replication_by_node_id chrom id
+        if nd.n_widx >= 0 then st.repl.(nd.n_widx)
         else
-          match Nnir.Graph.weighted_ancestors g id with
+          match nd.n_anc_widx with
           | [] -> 1
-          | ancestors ->
-              List.fold_left
-                (fun acc a ->
-                  max acc (Chromosome.replication_by_node_id chrom a))
-                1 ancestors
+          | l -> List.fold_left (fun acc w -> max acc st.repl.(w)) 1 l
       in
-      let comm_ns =
-        match Partition.index_of_node table id with
-        | -1 -> 0.0
-        | node_index ->
-            let info = Partition.entry table node_index in
-            per_window_comm_ns timing info
-              ~splits:(split_replicas chrom node_index)
-              ~replication
+      let comm_ns = if nd.n_widx >= 0 then st.penalty.(nd.n_widx) else 0.0 in
+      let s =
+        if nd.n_widx >= 0 then
+          float_of_int st.cycles.(nd.n_widx)
+          *. (ctx.op_cycle.(nd.n_widx) +. comm_ns)
+        else nd.n_vec_total /. float_of_int (max 1 replication)
       in
-      let s = standalone_ns ~comm_ns timing table g id ~replication in
-      match Nnir.Node.inputs node with
+      match nd.n_inputs with
       | [] ->
           start.(id) <- 0.0;
           eff.(id) <- 0.0
       | inputs ->
-          let in_rows =
-            match inputs with
-            | src :: _ ->
-                let sh = Nnir.Node.output_shape (Nnir.Graph.node g src) in
-                if Nnir.Tensor.is_chw sh then Nnir.Tensor.height sh else 1
-            | [] -> 1
-          in
-          let w = Receptive.waiting_fraction op ~in_rows in
           (* Per-stage pipeline-fill latency.  With contiguous row
              ownership the provider's first rows come from one replica,
              serialised at its per-window rate, so the fill is
@@ -267,110 +574,116 @@ let ll timing (chrom : Chromosome.t) =
              the fill, only the steady state.  Add the chunk transfer to
              the consumer cores (scaled by mapping overlap) and the
              head-core accumulation burst. *)
-          let _, row_bytes = Sched_common.row_geometry node in
-          let row_elements = row_bytes / Nnir.Tensor.bytes_per_element in
-          let remote =
-            List.fold_left
-              (fun acc src ->
-                Float.max acc (1.0 -. overlap_fraction cores.(id) cores.(src)))
-              0.0 inputs
-          in
+          let remote = st.ll_remote.(id) in
           (* Column-wise replication means all R_p replicas cooperate on
              each provider row, so a fill row costs W_p/R_p windows. *)
           let provider_fill src =
-            let p = Nnir.Graph.node g src in
-            match Partition.info_of_node table src with
-            | Some pinfo ->
-                let k =
-                  max 1
-                    (min
-                       (Receptive.rows_needed op ~out_row:1 ~in_rows)
-                       in_rows)
-                in
-                let per_window =
-                  Pimhw.Timing.operation_cycle_ns timing
-                    ~ags_in_core:pinfo.Partition.ags_per_replica
-                in
-                let r_p =
-                  max 1 (Chromosome.replication_by_node_id chrom src)
-                in
-                float_of_int ((k - 1) * pinfo.Partition.out_width)
-                *. per_window
-                /. float_of_int r_p
-            | None ->
-                let _, pb = Sched_common.row_geometry p in
-                Pimhw.Timing.vec_ns timing
-                  ~elements:(pb / Nnir.Tensor.bytes_per_element)
+            let pn = lc.nodes.(src) in
+            if pn.n_widx >= 0 then
+              let pinfo = ctx.infos.(pn.n_widx) in
+              let r_p = max 1 st.repl.(pn.n_widx) in
+              float_of_int ((nd.n_fill_k - 1) * pinfo.Partition.out_width)
+              *. ctx.op_cycle.(pn.n_widx)
+              /. float_of_int r_p
+            else pn.n_vec_fill
           in
-          let stage_overhead =
-            (remote *. Pimhw.Timing.noc_ns timing ~hops:3 ~bytes:row_bytes)
-            +. Pimhw.Timing.vec_ns timing ~elements:row_elements
-          in
+          let stage_overhead = (remote *. nd.n_noc_row) +. nd.n_vec_row in
           (* The consumer waits for the later of the structural fill
              (first rows stream from one replica) and the W fraction of
              the provider's steady-state execution (Fig. 6). *)
-          let st =
+          let st_time =
             List.fold_left
               (fun acc src ->
                 Float.max acc
                   (start.(src)
-                  +. Float.max (provider_fill src) (eff.(src) *. w)))
+                  +. Float.max (provider_fill src) (eff.(src) *. nd.n_wait)))
               0.0 inputs
             +. stage_overhead
           in
           let provider_rate =
             List.fold_left
-              (fun acc src -> Float.max acc (eff.(src) *. (1.0 -. w)))
+              (fun acc src -> Float.max acc (eff.(src) *. (1.0 -. nd.n_wait)))
               0.0 inputs
           in
-          start.(id) <- st;
+          start.(id) <- st_time;
           eff.(id) <- Float.max s provider_rate;
-          finish := Float.max !finish (st +. eff.(id)))
-    (Nnir.Graph.topo_order g);
+          finish := Float.max !finish (st_time +. eff.(id)))
+    lc.topo;
   (* Congestion bound: in the row pipeline every mapped layer is active
      at once, so the makespan is also bounded by the busiest core's total
      work (MVM issue/serialisation plus accumulation epilogues). *)
-  let table_n = Partition.num_weighted table in
-  let cycles_of = Array.make table_n 0 in
-  let vec_share = Array.make table_n 0.0 in
-  let penalty = Array.make table_n 0.0 in
-  for node_index = 0 to table_n - 1 do
-    let info = Partition.entry table node_index in
-    let r = max 1 (Chromosome.replication chrom node_index) in
-    cycles_of.(node_index) <- Partition.ceil_div info.Partition.windows r;
-    let holders =
-      max 1 (List.length (Chromosome.cores_of_node chrom node_index))
-    in
-    vec_share.(node_index) <-
-      float_of_int info.Partition.out_height
-      /. float_of_int holders
-      *. Pimhw.Timing.vec_ns timing
-           ~elements:(info.Partition.out_channels * info.Partition.out_width);
-    penalty.(node_index) <-
-      per_window_comm_ns timing info
-        ~splits:(split_replicas chrom node_index)
-        ~replication:r
-  done;
-  for core = 0 to Chromosome.core_count chrom - 1 do
-    let genes = Chromosome.genes chrom core in
-    let pairs =
-      List.map
-        (fun (gn : Chromosome.gene) -> (gn.ag_count, cycles_of.(gn.node_index)))
-        genes
-    in
-    let extra =
-      List.fold_left
-        (fun acc (gn : Chromosome.gene) ->
-          acc
-          +. vec_share.(gn.node_index)
-          +. (float_of_int cycles_of.(gn.node_index)
-             *. penalty.(gn.node_index)))
-        0.0 genes
-    in
-    let t = core_time timing pairs +. extra in
-    if t > !finish then finish := t
+  for core = 0 to ctx.core_count - 1 do
+    if st.core_busy.(core) > !finish then finish := st.core_busy.(core)
   done;
   !finish
+
+let time_of st =
+  match st.ctx.mode with
+  | Mode.High_throughput -> ht_time st
+  | Mode.Low_latency -> ll_time st
+
+(* Full (all-dirty) construction: refresh every node, then every core. *)
+let create_state ctx chrom =
+  if Chromosome.core_count chrom <> ctx.core_count then
+    invalid_arg "Fitness: chromosome core_count differs from context";
+  let n = Array.length ctx.infos in
+  let graph_n =
+    match ctx.ll with Some lc -> Array.length lc.nodes | None -> 0
+  in
+  let st =
+    {
+      ctx;
+      chrom;
+      repl = Array.make n 0;
+      splits = Array.make n 0;
+      cycles = Array.make n 0;
+      penalty = Array.make n 0.0;
+      holders = Array.make n [];
+      vec_share = Array.make n 0.0;
+      core_busy = Array.make ctx.core_count 0.0;
+      core_traffic = Array.make ctx.core_count 0.0;
+      core_xbars = Array.make ctx.core_count 0;
+      ll_cores = Array.make graph_n [];
+      ll_remote = Array.make graph_n 0.0;
+      ll_start = Array.make graph_n 0.0;
+      ll_eff = Array.make graph_n 0.0;
+      bank_scratch = Array.make ctx.banks 0.0;
+      core_dirty = Array.make ctx.core_count false;
+      scan_dirty = Array.make ctx.core_count false;
+      ll_dirty = Array.make graph_n false;
+      ll_dirty2 = Array.make graph_n false;
+      seg_ags = Array.make n 0;
+      seg_cyc = Array.make n 0;
+      time = 0.0;
+      fit = 0.0;
+    }
+  in
+  for w = 0 to n - 1 do
+    refresh_node st w
+  done;
+  for core = 0 to ctx.core_count - 1 do
+    refresh_core st core
+  done;
+  (match ctx.ll with
+  | Some lc ->
+      Array.iter (fun id -> refresh_ll_cores st id) lc.topo;
+      Array.iter (fun id -> refresh_ll_remote st id) lc.topo
+  | None -> ());
+  st
+
+let ht timing chrom =
+  let ctx =
+    context Mode.High_throughput timing (Chromosome.table chrom)
+      ~core_count:(Chromosome.core_count chrom)
+  in
+  time_of (create_state ctx chrom)
+
+let ll timing chrom =
+  let ctx =
+    context Mode.Low_latency timing (Chromosome.table chrom)
+      ~core_count:(Chromosome.core_count chrom)
+  in
+  time_of (create_state ctx chrom)
 
 (* --- energy estimate (for the energy-aware objective) --------------------- *)
 
@@ -420,13 +733,7 @@ let estimate_energy_pj (em : Pimhw.Energy_model.t) (mode : Mode.t) timing
   in
   dynamic +. static
 
-(* --- objectives ------------------------------------------------------------ *)
-
-type objective = Minimize_time | Minimize_energy_delay
-
-let objective_name = function
-  | Minimize_time -> "time"
-  | Minimize_energy_delay -> "energy-delay"
+(* --- objective assembly ---------------------------------------------------- *)
 
 (* Gentle pressure toward resource economy: replicas that buy no time
    still cost crossbar programming and leakage, so ties break toward the
@@ -442,14 +749,159 @@ let resource_pressure (chrom : Chromosome.t) =
   done;
   1.0 +. (0.01 *. float_of_int !used /. float_of_int (max 1 capacity))
 
+(* Combine the cached time with the objective.  The time path is fully
+   cached; the energy-delay objective recomputes the energy estimate from
+   scratch (it is only used by the energy benchmarks, where evaluation
+   throughput is not the bottleneck). *)
+let assemble st =
+  let time = time_of st in
+  st.time <- time;
+  st.fit <-
+    (match st.ctx.objective with
+    | Minimize_time ->
+        let used = Array.fold_left ( + ) 0 st.core_xbars in
+        time
+        *. (1.0
+           +. 0.01 *. float_of_int used
+              /. float_of_int (max 1 st.ctx.xbar_capacity))
+    | Minimize_energy_delay ->
+        let em =
+          Pimhw.Energy_model.create st.ctx.timing.Pimhw.Timing.config
+        in
+        time *. estimate_energy_pj em st.ctx.mode st.ctx.timing st.chrom /. 1e6)
+
 let evaluate ?(objective = Minimize_time) (mode : Mode.t) timing chrom =
-  let time =
-    match mode with
-    | Mode.High_throughput -> ht timing chrom
-    | Mode.Low_latency -> ll timing chrom
+  let ctx =
+    context ~objective mode timing (Chromosome.table chrom)
+      ~core_count:(Chromosome.core_count chrom)
   in
-  match objective with
-  | Minimize_time -> time *. resource_pressure chrom
-  | Minimize_energy_delay ->
-      let em = Pimhw.Energy_model.create timing.Pimhw.Timing.config in
-      time *. estimate_energy_pj em mode timing chrom /. 1e6
+  let st = create_state ctx chrom in
+  assemble st;
+  st.fit
+
+(* --- incremental evaluator ------------------------------------------------- *)
+
+module Inc = struct
+  type t = state
+
+  let create ctx chrom =
+    let st = create_state ctx chrom in
+    assemble st;
+    st
+
+  let copy st chrom =
+    {
+      st with
+      chrom;
+      repl = Array.copy st.repl;
+      splits = Array.copy st.splits;
+      cycles = Array.copy st.cycles;
+      penalty = Array.copy st.penalty;
+      holders = Array.copy st.holders;
+      vec_share = Array.copy st.vec_share;
+      core_busy = Array.copy st.core_busy;
+      core_traffic = Array.copy st.core_traffic;
+      core_xbars = Array.copy st.core_xbars;
+      ll_cores = Array.copy st.ll_cores;
+      ll_remote = Array.copy st.ll_remote;
+      (* scratch arrays ([ll_start]/[ll_eff], [bank_scratch], the dirty
+         flags, [seg_*]) carry no state between evaluations, so parent
+         and child share them *)
+    }
+
+  (* A mutation dirties the cores whose gene lists changed and every term
+     of the nodes it moved.  A node refresh can change its cycle count or
+     penalty, which feeds the busy time of *every* core holding it — so
+     the dirty core set is the touched cores plus the node's holders both
+     before and after the refresh. *)
+  let rec same_cores (a : int list) b =
+    match (a, b) with
+    | [], [] -> true
+    | x :: xs, y :: ys -> x = y && same_cores xs ys
+    | _ -> false
+
+  let rec set_flags (arr : bool array) = function
+    | [] -> ()
+    | c :: rest ->
+        arr.(c) <- true;
+        set_flags arr rest
+
+  let rec clear_flags (arr : bool array) = function
+    | [] -> ()
+    | c :: rest ->
+        arr.(c) <- false;
+        clear_flags arr rest
+
+  let update st (touched : Chromosome.touched) =
+    let nodes =
+      match touched.Chromosome.t_nodes with
+      | ([] | [ _ ]) as l -> l
+      | l -> List.sort_uniq Int.compare l
+    in
+    let is_ll = match st.ctx.ll with Some _ -> true | None -> false in
+    set_flags st.core_dirty touched.Chromosome.t_cores;
+    let ll_stale = ref false in
+    let rec each_node = function
+      | [] -> ()
+      | w :: rest ->
+          let old_cycles = st.cycles.(w)
+          and old_penalty = st.penalty.(w)
+          and old_vec = st.vec_share.(w)
+          and old_holders = st.holders.(w) in
+          set_flags st.scan_dirty old_holders;
+          refresh_node ~only_dirty:true st w;
+          clear_flags st.scan_dirty old_holders;
+          (* If the node's terms are unchanged, any holder core outside
+             [t_cores] would recompute its exact busy time — skip it.
+             (vec_share only feeds the LL busy time.) *)
+          if
+            st.cycles.(w) <> old_cycles
+            || st.penalty.(w) <> old_penalty
+            || (is_ll && st.vec_share.(w) <> old_vec)
+          then begin
+            set_flags st.core_dirty old_holders;
+            set_flags st.core_dirty st.holders.(w)
+          end;
+          (* A changed holder set dirties the core set of every graph
+             node whose frontier contains w, and the overlap term of
+             those nodes and their direct consumers. *)
+          (match st.ctx.ll with
+          | Some lc ->
+              if not (same_cores st.holders.(w) old_holders) then begin
+                ll_stale := true;
+                set_flags st.ll_dirty lc.holder_deps.(w)
+              end
+          | None -> ());
+          each_node rest
+    in
+    each_node nodes;
+    for core = 0 to st.ctx.core_count - 1 do
+      if st.core_dirty.(core) then begin
+        st.core_dirty.(core) <- false;
+        refresh_core st core
+      end
+    done;
+    (match st.ctx.ll with
+    | Some lc when !ll_stale ->
+        let n = Array.length st.ll_dirty in
+        for id = 0 to n - 1 do
+          if st.ll_dirty.(id) then begin
+            st.ll_dirty.(id) <- false;
+            refresh_ll_cores st id;
+            st.ll_dirty2.(id) <- true;
+            List.iter (fun s -> st.ll_dirty2.(s) <- true) lc.succs.(id)
+          end
+        done;
+        for id = 0 to n - 1 do
+          if st.ll_dirty2.(id) then begin
+            st.ll_dirty2.(id) <- false;
+            refresh_ll_remote st id
+          end
+        done
+    | Some _ | None -> ());
+    assemble st
+
+  let fitness st = st.fit
+  let time st = st.time
+  let chromosome st = st.chrom
+end

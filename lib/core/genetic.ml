@@ -2,7 +2,15 @@
    no crossover (the paper judges it meaningless for this encoding),
    mutation operations I-IV, elitist truncation selection, fitness F_HT or
    F_LL.  The paper's evaluation uses population 100 and 200 iterations;
-   those are the defaults. *)
+   those are the defaults.
+
+   Children are evaluated incrementally by default: each individual
+   carries a [Fitness.Inc.t] cache, a child copies its parent's cache and
+   refreshes only the nodes/cores its mutations touched.  [Full] re-runs
+   [Fitness.evaluate] from scratch for every child — same fitness values
+   bit-for-bit (the incremental evaluator shares its arithmetic with the
+   full path), so the search trajectory is identical; it exists as the
+   reference for tests and benchmarks. *)
 
 type params = {
   population : int;
@@ -34,25 +42,71 @@ let fast_params =
     patience = Some 25;
   }
 
-type individual = { chrom : Chromosome.t; fitness : float }
+type evaluation = Incremental | Full
+
+type individual = {
+  chrom : Chromosome.t;
+  fitness : float;
+  inc : Fitness.Inc.t option;  (* None under Full evaluation *)
+}
 
 type result = {
   best : Chromosome.t;
   best_fitness : float;
   initial_best_fitness : float;
   generations_run : int;
+  evaluations : int;
   history : float list;  (* best fitness per generation, oldest first *)
 }
 
-let evaluate ?objective mode timing chrom =
-  { chrom; fitness = Fitness.evaluate ?objective mode timing chrom }
-
 let sort_population pop =
-  Array.sort (fun a b -> compare a.fitness b.fitness) pop
+  Array.sort
+    (fun (a : individual) (b : individual) ->
+      Float.compare a.fitness b.fitness)
+    pop
 
-let optimize ?(params = default_params) ?(seeds = []) ?objective ~mode
-    ~timing ~rng table ~core_count ~max_node_num_in_core () =
+let optimize ?(params = default_params) ?(seeds = []) ?objective
+    ?(evaluation = Incremental) ~mode ~timing ~rng table ~core_count
+    ~max_node_num_in_core () =
   if params.population < 2 then invalid_arg "Genetic.optimize: population < 2";
+  let ctx = Fitness.context ?objective mode timing table ~core_count in
+  let evaluations = ref 0 in
+  let eval chrom =
+    incr evaluations;
+    match evaluation with
+    | Full ->
+        {
+          chrom;
+          fitness = Fitness.evaluate ?objective mode timing chrom;
+          inc = None;
+        }
+    | Incremental ->
+        let inc = Fitness.Inc.create ctx chrom in
+        { chrom; fitness = Fitness.Inc.fitness inc; inc = Some inc }
+  in
+  (* Child evaluation: reuse the parent's caches and refresh only what
+     the mutations touched.  Falls back to a full build when the parent
+     carries no cache (Full evaluation, or a seed evaluated before). *)
+  let eval_child parent child (touched : Chromosome.touched) =
+    incr evaluations;
+    match evaluation with
+    | Full ->
+        {
+          chrom = child;
+          fitness = Fitness.evaluate ?objective mode timing child;
+          inc = None;
+        }
+    | Incremental ->
+        let inc =
+          match parent.inc with
+          | Some pinc ->
+              let inc = Fitness.Inc.copy pinc child in
+              Fitness.Inc.update inc touched;
+              inc
+          | None -> Fitness.Inc.create ctx child
+        in
+        { chrom = child; fitness = Fitness.Inc.fitness inc; inc = Some inc }
+  in
   (* Half the initial population packs compactly, half scatters; any
      caller-provided seed individuals (e.g. the PUMA-like mapping) join
      it, so the GA result can only improve on them. *)
@@ -70,8 +124,7 @@ let optimize ?(params = default_params) ?(seeds = []) ?objective ~mode
   let seeds = Array.of_list seeds in
   let pop =
     Array.init params.population (fun i ->
-        if i < Array.length seeds then evaluate ?objective mode timing seeds.(i)
-        else evaluate ?objective mode timing (fresh i))
+        if i < Array.length seeds then eval seeds.(i) else eval (fresh i))
   in
   sort_population pop;
   let initial_best_fitness = pop.(0).fitness in
@@ -90,13 +143,22 @@ let optimize ?(params = default_params) ?(seeds = []) ?objective ~mode
        half (truncation selection). *)
     let parent_pool = max 1 (params.population / 2) in
     for i = elite to params.population - 1 do
-      let parent = pop.(Rng.int rng parent_pool).chrom in
-      let child = Chromosome.copy parent in
+      let parent = pop.(Rng.int rng parent_pool) in
+      let child = Chromosome.copy parent.chrom in
+      let t_nodes = ref [] and t_cores = ref [] in
       let changed = ref false in
       for _ = 1 to params.mutations_per_child do
-        if Chromosome.mutate_random rng child then changed := true
+        match Chromosome.mutate_random_touched rng child with
+        | Some touched ->
+            changed := true;
+            t_nodes := touched.Chromosome.t_nodes @ !t_nodes;
+            t_cores := touched.Chromosome.t_cores @ !t_cores
+        | None -> ()
       done;
-      if !changed then pop.(i) <- evaluate ?objective mode timing child
+      if !changed then
+        pop.(i) <-
+          eval_child parent child
+            { Chromosome.t_nodes = !t_nodes; t_cores = !t_cores }
     done;
     sort_population pop;
     if pop.(0).fitness < previous_best -. 1e-9 then stale := 0
@@ -108,6 +170,7 @@ let optimize ?(params = default_params) ?(seeds = []) ?objective ~mode
     best_fitness = pop.(0).fitness;
     initial_best_fitness;
     generations_run = !generation;
+    evaluations = !evaluations;
     history = List.rev !history;
   }
 
@@ -116,6 +179,7 @@ let optimize ?(params = default_params) ?(seeds = []) ?objective ~mode
 let random_search ?(params = default_params) ?objective ~mode ~timing ~rng
     table ~core_count ~max_node_num_in_core () =
   let budget = params.population * (params.iterations + 1) in
+  let evaluations = ref 0 in
   let best = ref None in
   for _ = 1 to budget do
     match
@@ -123,19 +187,21 @@ let random_search ?(params = default_params) ?objective ~mode ~timing ~rng
         ~extra_replica_attempts:params.extra_replica_attempts ()
     with
     | chrom ->
-        let ind = evaluate ?objective mode timing chrom in
+        incr evaluations;
+        let fitness = Fitness.evaluate ?objective mode timing chrom in
         (match !best with
-        | Some b when b.fitness <= ind.fitness -> ()
-        | _ -> best := Some ind)
+        | Some (_, bf) when bf <= fitness -> ()
+        | _ -> best := Some (chrom, fitness))
     | exception Chromosome.Infeasible _ -> ()
   done;
   match !best with
-  | Some b ->
+  | Some (chrom, fitness) ->
       {
-        best = b.chrom;
-        best_fitness = b.fitness;
-        initial_best_fitness = b.fitness;
+        best = chrom;
+        best_fitness = fitness;
+        initial_best_fitness = fitness;
         generations_run = budget;
-        history = [ b.fitness ];
+        evaluations = !evaluations;
+        history = [ fitness ];
       }
   | None -> raise (Chromosome.Infeasible "random search found no individual")

@@ -16,11 +16,19 @@ val default_params : params
 val fast_params : params
 (** Reduced setting for tests and quick sweeps. *)
 
+type evaluation = Incremental | Full
+(** [Incremental] (the default) caches per-node / per-core fitness terms
+    and refreshes only what each mutation touched; [Full] re-runs
+    {!Fitness.evaluate} for every child.  Both produce bit-identical
+    fitness values and hence the same search trajectory for a given
+    seed. *)
+
 type result = {
   best : Chromosome.t;
   best_fitness : float;
   initial_best_fitness : float;
   generations_run : int;
+  evaluations : int;  (** fitness evaluations performed *)
   history : float list;
 }
 
@@ -28,6 +36,7 @@ val optimize :
   ?params:params ->
   ?seeds:Chromosome.t list ->
   ?objective:Fitness.objective ->
+  ?evaluation:evaluation ->
   mode:Mode.t ->
   timing:Pimhw.Timing.t ->
   rng:Rng.t ->

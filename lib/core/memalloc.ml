@@ -40,6 +40,12 @@ type request =
 type core_state = {
   mutable current : int;
   mutable peak : int;
+  (* Bytes callers hold logically but which overflowed the capacity and
+     were spilled, so they were never resident.  Frees reclaim from this
+     pool first: subtracting a block's full size from [current] when part
+     of it spilled would under-count residency and corrupt every
+     subsequent spill computation. *)
+  mutable phantom : int;
   accumulators : (int, int) Hashtbl.t; (* key -> bytes held *)
   ag_slots : (int, int) Hashtbl.t;
 }
@@ -60,6 +66,7 @@ let create strategy ~core_count ~capacity =
           {
             current = 0;
             peak = 0;
+            phantom = 0;
             accumulators = Hashtbl.create 16;
             ag_slots = Hashtbl.create 16;
           });
@@ -82,9 +89,17 @@ let grow t core bytes =
   | Some cap when c.current > cap ->
       let overflow = c.current - cap in
       c.current <- cap;
+      c.phantom <- c.phantom + overflow;
       t.spill_bytes <- t.spill_bytes + (2 * overflow);
       overflow
   | _ -> 0
+
+(* Reclaim a logically-freed block: the spilled (phantom) portion was
+   never resident, so only the remainder reduces [current]. *)
+let reclaim c bytes =
+  let from_phantom = min bytes c.phantom in
+  c.phantom <- c.phantom - from_phantom;
+  c.current <- max 0 (c.current - (bytes - from_phantom))
 
 (* Request a buffer of [bytes] on [core].  Returns the number of bytes
    that spilled (0 almost always; HT + naive overflows). *)
@@ -119,9 +134,7 @@ let alloc t ~core ~bytes request =
 let free t ~core ~bytes =
   match t.strategy with
   | Naive | Add_reuse -> ()
-  | Ag_reuse ->
-      let c = t.cores.(core) in
-      c.current <- max 0 (c.current - bytes)
+  | Ag_reuse -> reclaim t.cores.(core) bytes
 
 (* Release an accumulation chain once its result has been consumed. *)
 let free_accumulator t ~core ~key =
@@ -132,5 +145,5 @@ let free_accumulator t ~core ~key =
       match Hashtbl.find_opt c.accumulators key with
       | Some held when t.strategy = Ag_reuse ->
           Hashtbl.remove c.accumulators key;
-          c.current <- max 0 (c.current - held)
+          reclaim c held
       | _ -> ())

@@ -21,7 +21,10 @@ val alloc : t -> core:int -> bytes:int -> request -> int
     is set and exceeded). *)
 
 val free : t -> core:int -> bytes:int -> unit
-(** Reclaims only under [Ag_reuse]; a no-op for the other disciplines. *)
+(** Reclaims only under [Ag_reuse]; a no-op for the other disciplines.
+    Only the portion of the freed bytes that was actually resident is
+    reclaimed — bytes that overflowed the capacity at allocation time
+    were spilled to global memory and never occupied the scratchpad. *)
 
 val free_accumulator : t -> core:int -> key:int -> unit
 

@@ -1,34 +1,51 @@
-(* Deterministic splittable PRNG (splitmix64) for the genetic algorithm.
+(* Deterministic PRNG for the genetic algorithm: a splitmix-style mixer
+   on the native 63-bit int (constants are the splitmix64 ones truncated
+   to the word size).  Native-int arithmetic keeps every draw
+   allocation-free — the GA draws tens of random numbers per child, so a
+   boxed-int64 generator shows up in mapping-stage profiles.
 
    A dedicated generator keeps compilation reproducible for a given seed
    regardless of what else the host program does with [Random], and makes
    property-test shrinking stable. *)
 
-type t = { mutable state : int64 }
+type t = { mutable state : int }
 
-let create ~seed = { state = Int64.of_int seed }
+let create ~seed = { state = seed }
 
 let copy t = { state = t.state }
 
-let next_int64 t =
-  let open Int64 in
-  t.state <- add t.state 0x9E3779B97F4A7C15L;
+(* 62-bit non-negative mixer output; additions and multiplications wrap
+   mod the word size, as in the 64-bit original. *)
+let bits t =
+  t.state <- t.state + 0x1E3779B97F4A7C15;
   let z = t.state in
-  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
-  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
-  logxor z (shift_right_logical z 31)
+  let z = (z lxor (z lsr 30)) * 0x3F58476D1CE4E5B9 in
+  let z = (z lxor (z lsr 27)) * 0x14D049BB133111EB in
+  (z lxor (z lsr 31)) land max_int
 
-(* Uniform int in [0, bound). *)
+(* Uniform int in [0, bound), by rejection sampling: draws land in
+   [0, 2^62), and any draw above the largest multiple of [bound] in that
+   range is retried, so [r mod bound] is exactly uniform (a bare
+   [r mod bound] over-weights small residues for non-power-of-two
+   bounds).  Still deterministic: the same seed yields the same stream
+   of accepted draws. *)
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound <= 0";
-  let r = Int64.to_int (next_int64 t) land max_int in
-  r mod bound
+  (* [rem] = 2^62 mod bound; draws in (max_int - rem, max_int] are the
+     partial final bucket and get rejected. *)
+  let rem = ((max_int mod bound) + 1) mod bound in
+  let cutoff = max_int - rem in
+  let rec draw () =
+    let r = bits t in
+    if r > cutoff then draw () else r mod bound
+  in
+  draw ()
 
 let float t bound =
-  let r = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  let r = float_of_int (bits t lsr 9) in
   bound *. r /. 9007199254740992.0 (* 2^53 *)
 
-let bool t = Int64.logand (next_int64 t) 1L = 1L
+let bool t = bits t land 1 = 1
 
 (* Uniform int in [lo, hi] inclusive. *)
 let range t lo hi =

@@ -1,13 +1,18 @@
-(** Deterministic splitmix64 PRNG used by the genetic algorithm, so a
-    given seed always yields the same compilation result. *)
+(** Deterministic splitmix-style PRNG (native-int, allocation-free) used
+    by the genetic algorithm, so a given seed always yields the same
+    compilation result. *)
 
 type t
 
 val create : seed:int -> t
 val copy : t -> t
-val next_int64 : t -> int64
+
+val bits : t -> int
+(** A uniform 62-bit non-negative draw. *)
+
 val int : t -> int -> int
-(** [int t bound] is uniform in [\[0, bound)]. *)
+(** [int t bound] is exactly uniform in [\[0, bound)] (rejection
+    sampling — no modulo bias). *)
 
 val float : t -> float -> float
 val bool : t -> bool

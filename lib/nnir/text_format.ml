@@ -66,7 +66,24 @@ let op_kind_keyword : Op.t -> string = function
       | Op.Avg_pool -> "global_avgpool")
   | op -> Op.kind_name op
 
+(* The format is whitespace-separated, so a name containing whitespace
+   would change the token structure and silently mis-parse on the way
+   back in.  Reject such names at serialisation time. *)
+let check_name what name =
+  if name = "" then
+    invalid_arg (Fmt.str "Text_format: empty %s name" what);
+  String.iter
+    (fun c ->
+      if c = ' ' || c = '\t' || c = '\n' || c = '\r' then
+        invalid_arg
+          (Fmt.str
+             "Text_format: %s name %S contains whitespace and cannot be \
+              serialised to .nnt"
+             what name))
+    name
+
 let node_to_line (n : Node.t) =
+  check_name "node" (Node.name n);
   let inputs = String.concat "," (List.map string_of_int (Node.inputs n)) in
   let fields = op_fields (Node.op n) in
   String.concat " "
@@ -77,6 +94,7 @@ let node_to_line (n : Node.t) =
 
 let to_string (g : Graph.t) =
   let buf = Buffer.create 4096 in
+  check_name "graph" (Graph.name g);
   Buffer.add_string buf ("graph " ^ Graph.name g ^ "\n");
   Array.iter
     (fun n ->
@@ -220,7 +238,22 @@ let of_string text =
             match !graph_name with
             | None -> graph_name := Some name
             | Some _ -> errf line "duplicate graph header")
+        | "graph" :: _ ->
+            errf line
+              "malformed graph header: the name must be a single \
+               whitespace-free token"
         | "node" :: id :: name :: kind :: rest ->
+            (* every remaining token must be a key=value field; a bare
+               token means the node name contained whitespace (or a
+               field lost its '=') and the line would mis-parse *)
+            List.iter
+              (fun tok ->
+                if not (String.contains tok '=') then
+                  errf line
+                    "unexpected bare token %S after node %S: node names \
+                     and fields must not contain whitespace"
+                    tok name)
+              rest;
             let fields = split_fields rest in
             let op = parse_op line kind fields in
             let inputs = parse_inputs line (field line fields "inputs") in

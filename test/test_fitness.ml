@@ -179,6 +179,51 @@ let test_ll_ge_simple_chain_bound () =
   Alcotest.(check bool) "LL >= worst stage" true
     (Pimcomp.Fitness.ll t chrom >= worst_standalone -. 1e-6)
 
+(* --- incremental evaluator ------------------------------------------------- *)
+
+(* The incremental evaluator must match the full recomputation
+   bit-for-bit after arbitrary mutation sequences: its caches are
+   refreshed by the same functions the full path runs, so any divergence
+   is a dirty-set bug.  Exercises both modes, several seeds, and the
+   parent-to-child copy path the GA uses. *)
+let incremental_matches_full mode () =
+  let g = Nnir.Zoo.build ~input_size:56 "squeezenet" in
+  let table = Pimcomp.Partition.of_graph hw g in
+  let core_count = Pimcomp.Partition.fit_core_count table in
+  let t = timing 8 in
+  let ctx = Pimcomp.Fitness.context mode t table ~core_count in
+  List.iter
+    (fun seed ->
+      let rng = Pimcomp.Rng.create ~seed in
+      let chrom =
+        ref
+          (Pimcomp.Chromosome.random_initial rng table ~core_count
+             ~max_node_num_in_core:16 ~extra_replica_attempts:2 ())
+      in
+      let inc = ref (Pimcomp.Fitness.Inc.create ctx !chrom) in
+      let check_match step =
+        let cached = Pimcomp.Fitness.Inc.fitness !inc in
+        let full = Pimcomp.Fitness.evaluate mode t !chrom in
+        if cached <> full then
+          Alcotest.failf "seed %d step %d: incremental %.17g <> full %.17g"
+            seed step cached full
+      in
+      check_match 0;
+      for step = 1 to 100 do
+        (* periodically branch a child, as the GA does every generation *)
+        if step mod 10 = 0 then begin
+          let child = Pimcomp.Chromosome.copy !chrom in
+          inc := Pimcomp.Fitness.Inc.copy !inc child;
+          chrom := child
+        end;
+        match Pimcomp.Chromosome.mutate_random_touched rng !chrom with
+        | Some touched ->
+            Pimcomp.Fitness.Inc.update !inc touched;
+            check_match step
+        | None -> ()
+      done)
+    [ 1; 7; 42 ]
+
 let () =
   Alcotest.run "fitness"
     [
@@ -204,5 +249,12 @@ let () =
             test_ll_ge_simple_chain_bound;
           Alcotest.test_case "energy estimate" `Quick test_energy_estimate;
           Alcotest.test_case "objectives" `Quick test_objective_evaluate;
+        ] );
+      ( "incremental",
+        [
+          Alcotest.test_case "matches full (HT)" `Quick
+            (incremental_matches_full Pimcomp.Mode.High_throughput);
+          Alcotest.test_case "matches full (LL)" `Quick
+            (incremental_matches_full Pimcomp.Mode.Low_latency);
         ] );
     ]

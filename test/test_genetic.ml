@@ -23,8 +23,33 @@ let test_deterministic () =
   let table, cores = setup "tiny" 16 in
   let r1 = optimize ~seed:7 ~mode:Pimcomp.Mode.High_throughput table cores in
   let r2 = optimize ~seed:7 ~mode:Pimcomp.Mode.High_throughput table cores in
-  Alcotest.(check (float 1e-9)) "same fitness for same seed"
-    r1.Pimcomp.Genetic.best_fitness r2.Pimcomp.Genetic.best_fitness
+  Alcotest.(check bool) "same fitness for same seed" true
+    (r1.Pimcomp.Genetic.best_fitness = r2.Pimcomp.Genetic.best_fitness);
+  Alcotest.(check bool) "same history for same seed" true
+    (r1.Pimcomp.Genetic.history = r2.Pimcomp.Genetic.history)
+
+let test_incremental_equals_full () =
+  (* Incremental and Full evaluation share their arithmetic, so for a
+     fixed seed the whole search trajectory — not just the final best —
+     must be bit-identical. *)
+  let table, cores = setup "squeezenet" 56 in
+  let timing = Pimhw.Timing.create ~parallelism:8 hw in
+  let run evaluation mode =
+    Pimcomp.Genetic.optimize ~params ~evaluation ~mode ~timing
+      ~rng:(Pimcomp.Rng.create ~seed:31)
+      table ~core_count:cores ~max_node_num_in_core:16 ()
+  in
+  List.iter
+    (fun mode ->
+      let inc = run Pimcomp.Genetic.Incremental mode in
+      let full = run Pimcomp.Genetic.Full mode in
+      Alcotest.(check bool) "identical best fitness" true
+        (inc.Pimcomp.Genetic.best_fitness = full.Pimcomp.Genetic.best_fitness);
+      Alcotest.(check bool) "identical history" true
+        (inc.Pimcomp.Genetic.history = full.Pimcomp.Genetic.history);
+      Alcotest.(check int) "identical evaluation count"
+        full.Pimcomp.Genetic.evaluations inc.Pimcomp.Genetic.evaluations)
+    Pimcomp.Mode.all
 
 let test_improves_over_initial () =
   let table, cores = setup "tiny" 16 in
@@ -124,6 +149,8 @@ let () =
       ( "ga",
         [
           Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "incremental equals full" `Quick
+            test_incremental_equals_full;
           Alcotest.test_case "improves over initial" `Quick
             test_improves_over_initial;
           Alcotest.test_case "history monotone" `Quick test_history_monotone;

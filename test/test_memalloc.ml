@@ -73,6 +73,25 @@ let test_spill_accounting () =
   Alcotest.(check int) "spill of overflow" 30 s2;
   Alcotest.(check int) "round-trip traffic" 60 (Pimcomp.Memalloc.spill_bytes a)
 
+let test_spill_free_double_count () =
+  (* Regression: freeing a block whose allocation partly spilled must not
+     reclaim the spilled portion — those bytes were never resident.  With
+     capacity 100: alloc 80 (resident 80), alloc 50 (resident 100, 30
+     spilled), free 50 -> only the 20 resident bytes of that block come
+     back, so a subsequent alloc 30 still overflows by 10.  The old
+     accounting subtracted the full 50 and reported no spill. *)
+  let a =
+    Pimcomp.Memalloc.create Pimcomp.Memalloc.Ag_reuse ~core_count:1
+      ~capacity:(Some 100)
+  in
+  Alcotest.(check int) "first alloc fits" 0
+    (Pimcomp.Memalloc.alloc a ~core:0 ~bytes:80 Pimcomp.Memalloc.Fresh);
+  Alcotest.(check int) "second alloc spills the overflow" 30
+    (Pimcomp.Memalloc.alloc a ~core:0 ~bytes:50 Pimcomp.Memalloc.Fresh);
+  Pimcomp.Memalloc.free a ~core:0 ~bytes:50;
+  Alcotest.(check int) "free reclaimed only the resident portion" 10
+    (Pimcomp.Memalloc.alloc a ~core:0 ~bytes:30 Pimcomp.Memalloc.Fresh)
+
 let test_per_core_isolation () =
   let a =
     Pimcomp.Memalloc.create Pimcomp.Memalloc.Ag_reuse ~core_count:3
@@ -132,6 +151,8 @@ let () =
           Alcotest.test_case "AG slot reuse" `Quick test_ag_slot_reuse;
           Alcotest.test_case "free semantics" `Quick test_free_only_ag_reuse;
           Alcotest.test_case "spill accounting" `Quick test_spill_accounting;
+          Alcotest.test_case "spill/free double count" `Quick
+            test_spill_free_double_count;
           Alcotest.test_case "per-core isolation" `Quick
             test_per_core_isolation;
           Alcotest.test_case "strategy names" `Quick test_strategy_names;

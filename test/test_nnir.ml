@@ -312,6 +312,41 @@ let test_parse_errors () =
   | exception Nnir.Text_format.Parse_error _ -> ()
   | _ -> Alcotest.fail "bad int accepted"
 
+let test_whitespace_names () =
+  (* the format is whitespace-separated, so a name containing whitespace
+     would change the token structure: serialisation must refuse it
+     rather than emit a line that mis-parses on the way back in *)
+  let graph_with_node_name name =
+    Nnir.Graph.create ~name:"g"
+      [ Nnir.Node.make ~id:0 ~name ~op:(Nnir.Op.Input [| 4 |]) ~inputs:[] ]
+  in
+  (match Nnir.Text_format.to_string (graph_with_node_name "my node") with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "node name with space serialised");
+  (match Nnir.Text_format.to_string (graph_with_node_name "") with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty node name serialised");
+  (match
+     Nnir.Text_format.to_string
+       (Nnir.Graph.create ~name:"my graph"
+          [
+            Nnir.Node.make ~id:0 ~name:"in" ~op:(Nnir.Op.Input [| 4 |])
+              ~inputs:[];
+          ])
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "graph name with space serialised");
+  (* the parser side: a stray bare token (what a whitespace name would
+     produce) is a clear Parse_error, not a silent mis-parse *)
+  (match
+     Nnir.Text_format.of_string "graph g\nnode 0 my node input shape=4 inputs="
+   with
+  | exception Nnir.Text_format.Parse_error { line = 2; _ } -> ()
+  | _ -> Alcotest.fail "bare token accepted");
+  match Nnir.Text_format.of_string "graph my g" with
+  | exception Nnir.Text_format.Parse_error { line = 1; _ } -> ()
+  | _ -> Alcotest.fail "multi-token graph header accepted"
+
 (* --- stats ---------------------------------------------------------------- *)
 
 let test_lenet_stats () =
@@ -436,6 +471,7 @@ let () =
         [
           Alcotest.test_case "zoo round-trip" `Quick test_roundtrip_zoo;
           Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "whitespace names" `Quick test_whitespace_names;
         ] );
       ( "stats",
         [
