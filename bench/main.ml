@@ -14,7 +14,14 @@
      ablation GA vs random search vs PUMA-like (DESIGN.md extension)
      ga       incremental vs full fitness evaluation throughput
               (writes BENCH_GA.json)
+     sim      flat-arena engine vs the reference interpreter, and
+              sequential vs domain-parallel sweep (writes BENCH_SIM.json)
      micro    Bechamel micro-benchmarks of the compiler stages
+
+   The sweep sections (fig8, fig10, ablation, sim) fan their evaluation
+   points out across OCaml domains via Pimsim.Parallel_sweep; every
+   point is a pure seeded computation, so the output is identical to a
+   sequential run.  The graph cache is populated before fanning out.
 
    Networks run at 1/4 of their native input resolution (layer structure
    unchanged — see DESIGN.md §1) so the whole suite completes in
@@ -47,6 +54,10 @@ let graph_of (name, size) =
       let g = Nnir.Zoo.build ~input_size:size name in
       Hashtbl.add graphs name g;
       g
+
+(* Domain-fanned sections must not mutate [graphs] concurrently: build
+   every graph up front, then the workers only read. *)
+let warm_graphs nets = List.iter (fun net -> ignore (graph_of net)) nets
 
 let compile_and_sim ?(allocator = Pimcomp.Memalloc.Ag_reuse) ~mode ~strategy
     ~parallelism net =
@@ -108,44 +119,56 @@ let fig8 () =
      wins.@.@.";
   Fmt.pr "%-14s %5s | %12s %12s | %12s %12s@." "network" "P" "HT thr (GA)"
     "HT norm" "LL lat (GA)" "LL norm";
+  warm_graphs networks;
+  let points =
+    Array.of_list
+      (List.concat_map
+         (fun net -> List.map (fun p -> (net, p)) parallelisms)
+         networks)
+  in
+  let rows =
+    Pimsim.Parallel_sweep.map
+      (fun (net, parallelism) ->
+        let _, ht_ga =
+          compile_and_sim ~mode:Pimcomp.Mode.High_throughput ~strategy:ga
+            ~parallelism net
+        in
+        let _, ht_puma =
+          compile_and_sim ~mode:Pimcomp.Mode.High_throughput ~strategy:puma
+            ~parallelism net
+        in
+        let _, ll_ga =
+          compile_and_sim ~mode:Pimcomp.Mode.Low_latency ~strategy:ga
+            ~parallelism net
+        in
+        let _, ll_puma =
+          compile_and_sim ~mode:Pimcomp.Mode.Low_latency ~strategy:puma
+            ~parallelism net
+        in
+        let ht_norm =
+          ht_ga.Pimsim.Metrics.throughput_ips
+          /. ht_puma.Pimsim.Metrics.throughput_ips
+        in
+        let ll_norm =
+          ll_puma.Pimsim.Metrics.latency_ns /. ll_ga.Pimsim.Metrics.latency_ns
+        in
+        ( ht_ga.Pimsim.Metrics.throughput_ips,
+          ht_norm,
+          ll_ga.Pimsim.Metrics.latency_ns,
+          ll_norm ))
+      points
+  in
   let ht_gains = ref [] and ll_gains = ref [] in
-  List.iter
-    (fun net ->
-      List.iter
-        (fun parallelism ->
-          let _, ht_ga =
-            compile_and_sim ~mode:Pimcomp.Mode.High_throughput ~strategy:ga
-              ~parallelism net
-          in
-          let _, ht_puma =
-            compile_and_sim ~mode:Pimcomp.Mode.High_throughput ~strategy:puma
-              ~parallelism net
-          in
-          let _, ll_ga =
-            compile_and_sim ~mode:Pimcomp.Mode.Low_latency ~strategy:ga
-              ~parallelism net
-          in
-          let _, ll_puma =
-            compile_and_sim ~mode:Pimcomp.Mode.Low_latency ~strategy:puma
-              ~parallelism net
-          in
-          let ht_norm =
-            ht_ga.Pimsim.Metrics.throughput_ips
-            /. ht_puma.Pimsim.Metrics.throughput_ips
-          in
-          let ll_norm =
-            ll_puma.Pimsim.Metrics.latency_ns
-            /. ll_ga.Pimsim.Metrics.latency_ns
-          in
-          ht_gains := ht_norm :: !ht_gains;
-          ll_gains := ll_norm :: !ll_gains;
-          Fmt.pr "%-14s %5d | %9.0f/s %11.2fx | %9.1fus %11.2fx@." (fst net)
-            parallelism ht_ga.Pimsim.Metrics.throughput_ips ht_norm
-            (ll_ga.Pimsim.Metrics.latency_ns /. 1e3)
-            ll_norm)
-        parallelisms;
-      Fmt.pr "@.")
-    networks;
+  let per_net = List.length parallelisms in
+  Array.iteri
+    (fun i (ht_thr, ht_norm, ll_lat, ll_norm) ->
+      let (name, _), parallelism = points.(i) in
+      ht_gains := ht_norm :: !ht_gains;
+      ll_gains := ll_norm :: !ll_gains;
+      Fmt.pr "%-14s %5d | %9.0f/s %11.2fx | %9.1fus %11.2fx@." name
+        parallelism ht_thr ht_norm (ll_lat /. 1e3) ll_norm;
+      if (i + 1) mod per_net = 0 then Fmt.pr "@.")
+    rows;
   Fmt.pr "geo-mean across networks and parallelism degrees:@.";
   Fmt.pr "  throughput (HT): %.2fx   latency (LL): %.2fx@."
     (geo_mean !ht_gains) (geo_mean !ll_gains);
@@ -204,28 +227,52 @@ let fig10 () =
     "Memory-reuse optimisation (paper Fig. 10).  HT: global-memory access@.\
      normalised to the naive allocator (transfer batch = 2 MVMs, as in the@.\
      paper).  LL: peak on-chip memory vs the 64 kB scratchpad.@.@.";
+  warm_graphs networks;
+  let rows =
+    Pimsim.Parallel_sweep.map_list
+      (fun net ->
+        let traffic allocator =
+          let r, _ =
+            compile_and_sim ~allocator ~mode:Pimcomp.Mode.High_throughput
+              ~strategy:puma ~parallelism net
+          in
+          let m = r.Pimcomp.Compile.program.Pimcomp.Isa.memory in
+          float_of_int
+            (m.Pimcomp.Isa.global_load_bytes
+           + m.Pimcomp.Isa.global_store_bytes + m.Pimcomp.Isa.spill_bytes)
+        in
+        let peaks allocator =
+          let r, _ =
+            compile_and_sim ~allocator ~mode:Pimcomp.Mode.Low_latency
+              ~strategy:puma ~parallelism net
+          in
+          let peaks =
+            r.Pimcomp.Compile.program.Pimcomp.Isa.memory
+              .Pimcomp.Isa.local_peak_bytes
+          in
+          let active = Array.to_list peaks |> List.filter (fun p -> p > 0) in
+          let avg =
+            float_of_int (List.fold_left ( + ) 0 active)
+            /. float_of_int (max 1 (List.length active))
+            /. 1024.0
+          in
+          (float_of_int (Array.fold_left max 0 peaks) /. 1024.0, avg)
+        in
+        (net, List.map traffic allocators, List.map peaks allocators))
+      networks
+  in
   Fmt.pr "HT mode - global memory traffic (normalised to naive):@.";
   Fmt.pr "%-14s | %8s %10s %9s@." "network" "naive" "ADD-reuse" "AG-reuse";
   let reductions = ref [] in
   List.iter
-    (fun net ->
-      let traffic allocator =
-        let r, _ =
-          compile_and_sim ~allocator ~mode:Pimcomp.Mode.High_throughput
-            ~strategy:puma ~parallelism net
-        in
-        let m = r.Pimcomp.Compile.program.Pimcomp.Isa.memory in
-        float_of_int
-          (m.Pimcomp.Isa.global_load_bytes + m.Pimcomp.Isa.global_store_bytes
-         + m.Pimcomp.Isa.spill_bytes)
-      in
-      match List.map traffic allocators with
+    (fun (net, traffic, _) ->
+      match traffic with
       | [ naive; add; ag ] ->
           reductions := (1.0 -. (ag /. naive)) :: !reductions;
           Fmt.pr "%-14s | %8.3f %10.3f %9.3f@." (fst net) 1.0 (add /. naive)
             (ag /. naive)
       | _ -> assert false)
-    networks;
+    rows;
   let avg =
     List.fold_left ( +. ) 0.0 !reductions
     /. float_of_int (max 1 (List.length !reductions))
@@ -238,31 +285,14 @@ let fig10 () =
   Fmt.pr "%-14s | %8s %8s | %8s %8s | %8s %8s@." "network" "max" "avg" "max"
     "avg" "max" "avg";
   List.iter
-    (fun net ->
-      let peaks allocator =
-        let r, _ =
-          compile_and_sim ~allocator ~mode:Pimcomp.Mode.Low_latency
-            ~strategy:puma ~parallelism net
-        in
-        let peaks =
-          r.Pimcomp.Compile.program.Pimcomp.Isa.memory
-            .Pimcomp.Isa.local_peak_bytes
-        in
-        let active = Array.to_list peaks |> List.filter (fun p -> p > 0) in
-        let avg =
-          float_of_int (List.fold_left ( + ) 0 active)
-          /. float_of_int (max 1 (List.length active))
-          /. 1024.0
-        in
-        (float_of_int (Array.fold_left max 0 peaks) /. 1024.0, avg)
-      in
-      match List.map peaks allocators with
+    (fun (net, _, peaks) ->
+      match peaks with
       | [ (n_max, n_avg); (a_max, a_avg); (g_max, g_avg) ] ->
           Fmt.pr "%-14s | %8.1f %8.1f | %8.1f %8.1f | %8.1f %8.1f%s@."
             (fst net) n_max n_avg a_max a_avg g_max g_avg
             (if g_avg <= 64.0 then "  (avg fits 64 kB)" else "")
       | _ -> assert false)
-    networks;
+    rows;
   Fmt.pr "(paper: LL average within 64 kB under AG-reuse)@."
 
 (* --- Table II --------------------------------------------------------------- *)
@@ -321,27 +351,36 @@ let ablation () =
      Values are simulated makespans (us) at parallelism 8.@.@.";
   Fmt.pr "%-14s %-4s | %10s %10s %10s@." "network" "mode" "GA" "random"
     "PUMA-like";
-  List.iter
-    (fun net ->
-      List.iter
-        (fun mode ->
-          let time strategy =
-            let _, m = compile_and_sim ~mode ~strategy ~parallelism:8 net in
-            m.Pimsim.Metrics.makespan_ns /. 1e3
-          in
-          let small = { ga_params with population = 16; iterations = 40 } in
-          Fmt.pr "%-14s %-4s | %10.1f %10.1f %10.1f@." (fst net)
-            (Pimcomp.Mode.to_string mode)
-            (time (Pimcomp.Compile.Genetic_algorithm small))
-            (time (Pimcomp.Compile.Random_search small))
-            (time puma))
-        Pimcomp.Mode.all)
-    [ ("squeezenet", 56); ("resnet18", 56) ];
+  let strategy_nets = [ ("squeezenet", 56); ("resnet18", 56) ] in
+  let objective_nets = [ ("squeezenet", 56); ("googlenet", 56) ] in
+  warm_graphs (strategy_nets @ objective_nets);
+  let points =
+    List.concat_map
+      (fun net -> List.map (fun mode -> (net, mode)) Pimcomp.Mode.all)
+      strategy_nets
+  in
+  Pimsim.Parallel_sweep.map_list
+    (fun (net, mode) ->
+      let time strategy =
+        let _, m = compile_and_sim ~mode ~strategy ~parallelism:8 net in
+        m.Pimsim.Metrics.makespan_ns /. 1e3
+      in
+      let small = { ga_params with population = 16; iterations = 40 } in
+      ( net,
+        mode,
+        time (Pimcomp.Compile.Genetic_algorithm small),
+        time (Pimcomp.Compile.Random_search small),
+        time puma ))
+    points
+  |> List.iter (fun (net, mode, t_ga, t_rand, t_puma) ->
+         Fmt.pr "%-14s %-4s | %10.1f %10.1f %10.1f@." (fst net)
+           (Pimcomp.Mode.to_string mode)
+           t_ga t_rand t_puma);
   Fmt.pr
     "@.Objective ablation: time-only vs energy-delay-product GA (LL, P=8).@.@.";
   Fmt.pr "%-14s | %12s %12s | %12s %12s@." "network" "time: us" "uJ"
     "edp: us" "uJ";
-  List.iter
+  Pimsim.Parallel_sweep.map_list
     (fun net ->
       let run objective =
         let options =
@@ -358,11 +397,12 @@ let ablation () =
         ( m.Pimsim.Metrics.makespan_ns /. 1e3,
           Pimsim.Metrics.total_pj m.Pimsim.Metrics.energy /. 1e6 )
       in
-      let t_us, t_uj = run Pimcomp.Fitness.Minimize_time in
-      let e_us, e_uj = run Pimcomp.Fitness.Minimize_energy_delay in
-      Fmt.pr "%-14s | %12.1f %12.1f | %12.1f %12.1f@." (fst net) t_us t_uj
-        e_us e_uj)
-    [ ("squeezenet", 56); ("googlenet", 56) ]
+      (net, run Pimcomp.Fitness.Minimize_time,
+       run Pimcomp.Fitness.Minimize_energy_delay))
+    objective_nets
+  |> List.iter (fun (net, (t_us, t_uj), (e_us, e_uj)) ->
+         Fmt.pr "%-14s | %12.1f %12.1f | %12.1f %12.1f@." (fst net) t_us t_uj
+           e_us e_uj)
 
 (* --- batch validation --------------------------------------------------------- *)
 
@@ -486,6 +526,149 @@ let ga_throughput () =
   close_out oc;
   Fmt.pr "wrote BENCH_GA.json@."
 
+(* --- simulator engine --------------------------------------------------------- *)
+
+(* Benchmarks the flat-arena engine against the reference interpreter
+   (Engine_ref) and the domain-parallel sweep runner against a
+   sequential one.  Three timings per mode:
+
+     ref   Engine_ref.run   (boxed state, per-run allocation)
+     cold  Engine.run       (arena build + execute)
+     warm  Engine.exec      (execute on a reused arena — the sweep case)
+
+   All three must return bit-identical Metrics.t.  Results land in
+   BENCH_SIM.json for the driver.  PIMCOMP_SIM_TINY=1 shrinks the run
+   to the tiny network for the `dune runtest` smoke invocation. *)
+let sim () =
+  let tiny = Sys.getenv_opt "PIMCOMP_SIM_TINY" <> None in
+  let net =
+    if tiny then ("tiny", Nnir.Zoo.min_input_size "tiny")
+    else ("resnet18", Nnir.Zoo.scaled_input_size ~factor:4 "resnet18")
+  in
+  let parallelism = Pimsim.Engine.default_parallelism in
+  let reps = if tiny then 3 else 9 in
+  let time_min f =
+    ignore (f ());
+    (* warm-up *)
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      ignore (Sys.opaque_identity (f ()));
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  Fmt.pr
+    "Flat-arena engine vs the reference interpreter on %s@%d (PUMA-like@.\
+     mapping, parallelism %d, best of %d runs):@.@."
+    (fst net) (snd net) parallelism reps;
+  Fmt.pr "%-4s | %9s %9s %9s | %8s %8s | %s@." "mode" "ref ms" "cold ms"
+    "warm ms" "cold" "warm" "identical";
+  let engine_rows =
+    List.map
+      (fun mode ->
+        let r, _ = compile_and_sim ~mode ~strategy:puma ~parallelism net in
+        let program = r.Pimcomp.Compile.program in
+        let arena = Pimsim.Engine.arena ~parallelism hw program in
+        let m_ref = Pimsim.Engine_ref.run ~parallelism hw program in
+        let m_cold = Pimsim.Engine.run ~parallelism hw program in
+        let m_warm = Pimsim.Engine.exec arena in
+        let identical = m_ref = m_cold && m_ref = m_warm in
+        let ref_s =
+          time_min (fun () -> Pimsim.Engine_ref.run ~parallelism hw program)
+        in
+        let cold_s =
+          time_min (fun () -> Pimsim.Engine.run ~parallelism hw program)
+        in
+        let warm_s = time_min (fun () -> Pimsim.Engine.exec arena) in
+        Fmt.pr "%-4s | %9.3f %9.3f %9.3f | %7.2fx %7.2fx | %b@."
+          (Pimcomp.Mode.to_string mode)
+          (ref_s *. 1e3) (cold_s *. 1e3) (warm_s *. 1e3) (ref_s /. cold_s)
+          (ref_s /. warm_s) identical;
+        (mode, ref_s, cold_s, warm_s, identical))
+      Pimcomp.Mode.all
+  in
+  (* Sweep scaling: the Fig. 8 point grid (network x mode x parallelism,
+     PUMA-like mapping), simulated sequentially and through the domain
+     pool.  The two result arrays must be bit-identical. *)
+  let sweep_nets = if tiny then [ net ] else networks in
+  let sweep_parallelisms = if tiny then [ 4; 8 ] else [ 4; 8; 16; 32 ] in
+  warm_graphs sweep_nets;
+  let points =
+    Array.of_list
+      (List.concat_map
+         (fun n ->
+           List.concat_map
+             (fun mode ->
+               List.map
+                 (fun p ->
+                   let options =
+                     {
+                       Pimcomp.Compile.default_options with
+                       mode;
+                       parallelism = p;
+                       strategy = puma;
+                     }
+                   in
+                   let r = Pimcomp.Compile.compile ~options hw (graph_of n) in
+                   (r.Pimcomp.Compile.program, p))
+                 sweep_parallelisms)
+             Pimcomp.Mode.all)
+         sweep_nets)
+  in
+  let wall f =
+    let best = ref infinity and result = ref None in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt;
+      result := Some r
+    done;
+    (Option.get !result, !best)
+  in
+  let recommended = Pimsim.Parallel_sweep.default_domains () in
+  let domains = max 4 recommended in
+  let seq, seq_s =
+    wall (fun () -> Pimsim.Parallel_sweep.simulate ~domains:1 hw points)
+  in
+  let par, par_s =
+    wall (fun () -> Pimsim.Parallel_sweep.simulate ~domains hw points)
+  in
+  let sweep_identical = seq = par in
+  Fmt.pr
+    "@.Fig. 8 sweep grid: %d points; sequential %.3f s, %d domains %.3f s \
+     (%.2fx),@.results %s (host recommends %d domains).@."
+    (Array.length points) seq_s domains par_s (seq_s /. par_s)
+    (if sweep_identical then "bit-identical" else "DIVERGED")
+    recommended;
+  let oc = open_out "BENCH_SIM.json" in
+  let json = Format.formatter_of_out_channel oc in
+  Format.fprintf json
+    "{@.  \"network\": \"%s\",@.  \"input_size\": %d,@.  \"parallelism\": \
+     %d,@.  \"tiny\": %b,@.  \"engine\": [@."
+    (fst net) (snd net) parallelism tiny;
+  List.iteri
+    (fun i (mode, ref_s, cold_s, warm_s, identical) ->
+      Format.fprintf json
+        "    { \"mode\": %S, \"ref_ms\": %.3f, \"cold_ms\": %.3f, \
+         \"warm_ms\": %.3f,@.      \"speedup_cold\": %.2f, \
+         \"speedup_warm\": %.2f, \"bit_identical\": %b }%s@."
+        (Pimcomp.Mode.to_string mode)
+        (ref_s *. 1e3) (cold_s *. 1e3) (warm_s *. 1e3) (ref_s /. cold_s)
+        (ref_s /. warm_s) identical
+        (if i = List.length engine_rows - 1 then "" else ","))
+      engine_rows;
+  Format.fprintf json
+    "  ],@.  \"sweep\": { \"points\": %d, \"domains\": %d, \
+     \"recommended_domains\": %d,@.    \"seq_seconds\": %.3f, \
+     \"par_seconds\": %.3f, \"speedup\": %.2f, \"bit_identical\": %b }@.}@."
+    (Array.length points) domains recommended seq_s par_s (seq_s /. par_s)
+    sweep_identical;
+  close_out oc;
+  Fmt.pr "wrote BENCH_SIM.json@."
+
 (* --- Bechamel micro-benchmarks ------------------------------------------------ *)
 
 let micro () =
@@ -554,6 +737,7 @@ let sections : (string * (unit -> unit)) list =
     ("table2", table2);
     ("ablation", ablation);
     ("ga", ga_throughput);
+    ("sim", sim);
     ("batch", batch);
     ("micro", micro);
   ]

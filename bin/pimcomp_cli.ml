@@ -5,6 +5,7 @@
      pimcomp table1                            print the hardware table
      pimcomp compile vgg16 --mode LL ...       compile and report
      pimcomp simulate vgg16 --mode HT ...      compile + cycle-accurate sim
+     pimcomp sweep resnet18 -P 4,8,16,32 ...   parallelism sweep over domains
      pimcomp export squeezenet --format dot    emit .nnt / .dot
 
    Networks can be zoo names or paths to .nnt files (the textual model
@@ -43,7 +44,10 @@ let mode_arg =
 
 let parallelism_arg =
   let doc = "Parallelism degree: AGs allowed to compute simultaneously." in
-  Arg.(value & opt int 20 & info [ "parallelism"; "p" ] ~doc)
+  Arg.(
+    value
+    & opt int Pimsim.Engine.default_parallelism
+    & info [ "parallelism"; "p" ] ~doc)
 
 let cores_arg =
   let doc = "Number of cores (default: smallest machine that fits)." in
@@ -258,6 +262,77 @@ let simulate_cmd =
        ~doc:"Compile a network and run the cycle-accurate simulator.")
     (compile_term true)
 
+let sweep_cmd =
+  let parallelisms_arg =
+    let doc = "Comma-separated parallelism degrees to sweep." in
+    Arg.(
+      value
+      & opt (list int) [ 4; 8; 16; 32 ]
+      & info [ "parallelisms"; "P" ] ~docv:"P1,P2,..." ~doc)
+  in
+  let domains_arg =
+    let doc =
+      "Worker domains for the sweep (default: the host's recommended \
+       domain count)."
+    in
+    Arg.(value & opt (some int) None & info [ "domains" ] ~doc)
+  in
+  let run network input_size strategy seed generations fast allocator domains
+      parallelisms =
+    wrap (fun () ->
+        let graph = load_network network input_size in
+        let hw = Pimhw.Config.puma_like in
+        let strategy = strategy_of_flags strategy fast generations seed in
+        let points =
+          Array.of_list
+            (List.concat_map
+               (fun mode -> List.map (fun p -> (mode, p)) parallelisms)
+               Pimcomp.Mode.all)
+        in
+        let t0 = Unix.gettimeofday () in
+        (* Each point is an independent seeded compile+simulate; the
+           domain pool returns them in point order, identical to a
+           sequential run. *)
+        let results =
+          Pimsim.Parallel_sweep.map ?domains
+            (fun (mode, parallelism) ->
+              let options =
+                build_options ~mode ~parallelism ~cores:None ~allocator
+                  ~strategy ~seed ~objective:Pimcomp.Fitness.Minimize_time
+              in
+              let r = Pimcomp.Compile.compile ~options hw graph in
+              Pimsim.Engine.run ~parallelism hw r.Pimcomp.Compile.program)
+            points
+        in
+        let dt = Unix.gettimeofday () -. t0 in
+        Fmt.pr "%-4s %5s | %12s %12s %12s@." "mode" "P" "thr inf/s" "lat us"
+          "energy uJ";
+        Array.iteri
+          (fun i (m : Pimsim.Metrics.t) ->
+            let mode, p = points.(i) in
+            Fmt.pr "%-4s %5d | %12.0f %12.1f %12.1f@."
+              (Pimcomp.Mode.to_string mode)
+              p m.Pimsim.Metrics.throughput_ips
+              (m.Pimsim.Metrics.latency_ns /. 1e3)
+              (Pimsim.Metrics.total_pj m.Pimsim.Metrics.energy /. 1e6))
+          results;
+        Fmt.pr "@.%d points in %.2f s on %d domains@." (Array.length points)
+          dt
+          (match domains with
+          | Some d -> max 1 d
+          | None -> Pimsim.Parallel_sweep.default_domains ()))
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Compile and simulate a network across parallelism degrees and \
+          both modes, fanned out over OCaml domains.")
+    Term.(
+      term_result
+        (const run $ network_arg $ input_size_arg $ strategy_arg $ seed_arg
+       $ generations_arg $ fast_arg $ allocator_arg $ domains_arg
+       $ parallelisms_arg))
+
 let export_cmd =
   let format_arg =
     let doc = "Output format: nnt (textual model) or dot (Graphviz)." in
@@ -293,6 +368,9 @@ let main_cmd =
   let doc = "PIMCOMP: compilation framework for crossbar-based PIM DNN accelerators" in
   Cmd.group
     (Cmd.info "pimcomp" ~version:"1.0.0" ~doc)
-    [ networks_cmd; table1_cmd; compile_cmd; simulate_cmd; export_cmd ]
+    [
+      networks_cmd; table1_cmd; compile_cmd; simulate_cmd; sweep_cmd;
+      export_cmd;
+    ]
 
 let () = exit (Cmd.eval main_cmd)

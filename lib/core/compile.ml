@@ -27,7 +27,7 @@ type options = {
 let default_options =
   {
     mode = Mode.High_throughput;
-    parallelism = 20;
+    parallelism = Pimhw.Timing.default_parallelism;
     core_count = None;
     max_node_num_in_core = 16;
     allocator = Memalloc.Ag_reuse;

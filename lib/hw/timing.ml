@@ -14,7 +14,11 @@ type t = {
   t_interval_ns : float;
 }
 
-let create ?(parallelism = 20) (config : Config.t) =
+let default_parallelism = 20
+(* The paper's energy-evaluation setting; the single source of truth
+   for every parallelism default in the compiler, simulator and CLI. *)
+
+let create ?(parallelism = default_parallelism) (config : Config.t) =
   if parallelism <= 0 then invalid_arg "Timing.create: parallelism <= 0";
   {
     config;

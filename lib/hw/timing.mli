@@ -9,8 +9,13 @@ type t = {
   t_interval_ns : float;
 }
 
+val default_parallelism : int
+(** 20, the paper's energy-evaluation setting — the single source of
+    truth for every parallelism default across the compiler, simulator
+    and CLI. *)
+
 val create : ?parallelism:int -> Config.t -> t
-(** Default parallelism 20, the paper's energy-evaluation setting. *)
+(** Default parallelism {!default_parallelism}. *)
 
 val parallelism : t -> int
 

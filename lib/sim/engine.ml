@@ -15,9 +15,24 @@
 
    Contended units (AGs, VFUs, memory banks) are FIFO queues: a ready
    instruction either occupies its unit or waits in line, and the unit
-   is granted in request order when released.  This avoids the convoy
-   artefacts of reserve-at-ready-time scheduling when many independent
-   instruction chains compete (e.g. batched inference).
+   is granted in request order when released.
+
+   This is the flat-arena implementation: the program is compiled once
+   into contiguous arrays indexed by a global instruction id
+   (core-major), with CSR-encoded dependency/dependent edges, dense
+   tag -> arrival / parked-RECV tables, per-instruction precomputed
+   durations and energy charges, and an int-packed event heap.  The
+   arena's mutable state is reset — not reallocated — between runs, so
+   parallelism sweeps and repeated captures pay the build cost once.
+
+   Determinism and bit-identity with {!Engine_ref}: events are popped in
+   (time, code) order where the code ranks unit releases before
+   instruction completions and completions by (core, index); dependents
+   are walked in the same (descending-index) order the reference engine
+   builds its adjacency lists; and every float is produced by the same
+   expression shapes (precomputed subterms are products/sums the
+   reference also computes as whole subexpressions), so IEEE rounding
+   agrees term for term.
 
    Execution is dataflow (dependency-driven), so any well-formed program
    terminates; unmatched rendezvous or dependency cycles surface as a
@@ -25,41 +40,62 @@
 
 module Isa = Pimcomp.Isa
 
-type config = {
+let default_parallelism = Pimhw.Timing.default_parallelism
+
+(* Instruction kind codes for the flat [kind] array. *)
+let k_mvm = 0
+let k_vec = 1
+let k_load = 2
+let k_store = 3
+let k_send = 4
+let k_recv = 5
+
+type t = {
+  program : Isa.t;
   timing : Pimhw.Timing.t;
   energy : Pimhw.Energy_model.t;
-  noc : Pimhw.Noc.t;
-}
-
-let make_config ?(parallelism = 20) (hw : Pimhw.Config.t) =
-  {
-    timing = Pimhw.Timing.create ~parallelism hw;
-    energy = Pimhw.Energy_model.create hw;
-    noc = Pimhw.Noc.create ~core_count:hw.Pimhw.Config.core_count;
-  }
-
-(* Mutable per-run state. *)
-type state = {
-  program : Isa.t;
-  cfg : config;
-  noc : Pimhw.Noc.t;           (* sized to the program's core count *)
-  missing : int array array;   (* outstanding deps per instr *)
-  dependents : int list array array;
-  finish : float array array;  (* completion time per instr; nan = not run *)
-  issue_next : float array;    (* per-core MVM issue port *)
-  (* contended units: AGs, then per-core VFUs, then memory banks *)
-  res_busy : bool array;
-  res_queue : (int * int) Queue.t array;
-  num_ags : int;
-  num_banks : int;
-  arrivals : (int, float) Hashtbl.t;         (* tag -> message arrival *)
-  parked_recvs : (int, int * int) Hashtbl.t; (* tag -> (core, idx) *)
-  on_schedule :
-    (core:int -> index:int -> start:float -> finish:float -> unit) option;
-  heap : Heap.t;
+  n : int;                    (* total instructions *)
+  core_count : int;
+  num_resources : int;        (* AGs + per-core VFUs + memory banks *)
+  (* static per-instruction tables, all indexed by global id *)
+  core_of : int array;
+  idx_of : int array;         (* index within the instruction's core *)
+  kind : int array;
+  res_of : int array;         (* contended unit, or -1 for SEND/RECV *)
+  dep_off : int array;        (* CSR deps: [dep_off.(g) .. dep_off.(g+1)) *)
+  dep_arr : int array;
+  dept_off : int array;       (* CSR dependents, rows in descending id *)
+  dept_arr : int array;
+  dep_count : int array;
+  dur : float array;          (* MVM: windows*T_MVM; VEC: burst; LOAD/STORE:
+                                 streaming; SEND: mesh flight; RECV: 0 *)
+  issue_delta : float array;  (* MVM: windows*T_interval *)
+  tag_of : int array;         (* SEND/RECV rendezvous tag, else -1 *)
+  (* precomputed per-instruction charges *)
+  pe_mvm : float array;
+  pe_vec : float array;
+  pe_local : float array;
+  pe_global : float array;
+  pe_noc : float array;
+  windows_d : int array;
+  flithops_d : int array;
+  bytes_d : int array;
+  t_dram : float;
+  (* mutable per-run state, reset by [exec] *)
+  missing : int array;
+  finish : float array;
+  issue_next : float array;   (* per-core MVM issue port *)
+  res_state : int array;      (* 0 free; 1 busy, release event in heap;
+                                 2 busy, release deferred (see [free_at]) *)
+  free_at : float array;      (* release time of a state-2 unit *)
+  qhead : int array;          (* per-resource FIFO: intrusive int lists *)
+  qtail : int array;
+  qnext : int array;
+  heap : Heap.Packed.t;
+  arrival : float array;      (* tag -> message arrival; nan = none *)
+  parked : int array;         (* tag -> parked RECV id; -1 = none *)
   core_first : float array;
   core_last : float array;
-  (* accumulators *)
   mutable e_mvm : float;
   mutable e_vec : float;
   mutable e_local : float;
@@ -76,59 +112,212 @@ type state = {
 let bytes_to_flits (hw : Pimhw.Config.t) bytes =
   max 1 ((bytes + hw.Pimhw.Config.flit_bytes - 1) / hw.Pimhw.Config.flit_bytes)
 
-(* Contended unit of an instruction, as an index into the resource
-   tables; SEND/RECV only touch the (uncontended) mesh model. *)
-let resource_of st core (instr : Isa.instr) =
-  match instr.Isa.op with
-  | Isa.Mvm m -> Some m.ag
-  | Isa.Vec _ -> Some (st.num_ags + core)
-  | Isa.Load _ | Isa.Store _ ->
-      Some (st.num_ags + st.program.Isa.core_count + (core mod st.num_banks))
-  | Isa.Send _ | Isa.Recv _ -> None
-
-let init ?on_schedule (cfg : config) (program : Isa.t) =
+let arena ?(parallelism = default_parallelism) (hw : Pimhw.Config.t)
+    (program : Isa.t) =
+  let timing = Pimhw.Timing.create ~parallelism hw in
+  let energy = Pimhw.Energy_model.create hw in
   let core_count = program.Isa.core_count in
-  let missing =
-    Array.map (Array.map (fun i -> List.length i.Isa.deps)) program.Isa.cores
-  in
-  let dependents =
-    Array.map
-      (fun instrs -> Array.make (Array.length instrs) [])
-      program.Isa.cores
-  in
+  let noc = Pimhw.Noc.create ~core_count in
+  let num_ags = Array.length program.Isa.ag_core in
+  let num_banks = max 1 hw.Pimhw.Config.global_memory_banks in
+  let num_resources = num_ags + core_count + num_banks in
+  let n = Isa.num_instrs program in
+  let core_of = Array.make n 0 and idx_of = Array.make n 0 in
+  let kind = Array.make n 0 and res_of = Array.make n (-1) in
+  let dep_count = Array.make n 0 in
+  let dur = Array.make n 0.0 and issue_delta = Array.make n 0.0 in
+  let tag_of = Array.make n (-1) in
+  let pe_mvm = Array.make n 0.0 and pe_vec = Array.make n 0.0 in
+  let pe_local = Array.make n 0.0 and pe_global = Array.make n 0.0 in
+  let pe_noc = Array.make n 0.0 in
+  let windows_d = Array.make n 0 and flithops_d = Array.make n 0 in
+  let bytes_d = Array.make n 0 in
+  let em = energy in
+  let lr = em.Pimhw.Energy_model.local_read_pj_per_byte in
+  let lw = em.Pimhw.Energy_model.local_write_pj_per_byte in
+  (* first pass: flatten, decode ops, precompute charges, count deps *)
+  let max_tag = ref (-1) in
+  let total_deps = ref 0 in
+  let g = ref 0 in
   Array.iteri
     (fun core instrs ->
       Array.iteri
-        (fun idx i ->
+        (fun idx (i : Isa.instr) ->
+          let id = !g in
+          incr g;
+          core_of.(id) <- core;
+          idx_of.(id) <- idx;
+          let nd = List.length i.Isa.deps in
+          dep_count.(id) <- nd;
+          total_deps := !total_deps + nd;
+          (* Range validation here makes every index the run loop derives
+             from these tables sound, so [exec] can use unsafe accesses. *)
+          let len = Array.length instrs in
           List.iter
-            (fun d -> dependents.(core).(d) <- idx :: dependents.(core).(d))
+            (fun d ->
+              if d < 0 || d >= len then
+                invalid_arg
+                  (Fmt.str "Engine: core %d instr %d: dep %d out of range"
+                     core idx d))
+            i.Isa.deps;
+          match i.Isa.op with
+          | Isa.Mvm m ->
+              if m.ag < 0 || m.ag >= num_ags then
+                invalid_arg
+                  (Fmt.str "Engine: core %d instr %d: invalid AG %d" core idx
+                     m.ag);
+              let w = float_of_int m.windows in
+              kind.(id) <- k_mvm;
+              res_of.(id) <- m.ag;
+              issue_delta.(id) <- w *. timing.Pimhw.Timing.t_interval_ns;
+              dur.(id) <- w *. timing.Pimhw.Timing.t_mvm_ns;
+              pe_mvm.(id) <-
+                w *. float_of_int m.xbars
+                *. em.Pimhw.Energy_model.mvm_energy_pj;
+              pe_local.(id) <-
+                w
+                *. ((float_of_int m.input_bytes *. lr)
+                   +. (float_of_int m.output_bytes *. lw));
+              windows_d.(id) <- m.windows
+          | Isa.Vec v ->
+              kind.(id) <- k_vec;
+              res_of.(id) <- num_ags + core;
+              dur.(id) <- Pimhw.Timing.vec_ns timing ~elements:v.elements;
+              pe_vec.(id) <-
+                float_of_int v.elements
+                *. em.Pimhw.Energy_model.vec_energy_pj_per_element;
+              pe_local.(id) <-
+                float_of_int (2 * v.elements * Nnir.Tensor.bytes_per_element)
+                *. lr
+          | Isa.Load { bytes } | Isa.Store { bytes } ->
+              let is_load =
+                match i.Isa.op with Isa.Load _ -> true | _ -> false
+              in
+              kind.(id) <- (if is_load then k_load else k_store);
+              res_of.(id) <- num_ags + core_count + (core mod num_banks);
+              dur.(id) <-
+                float_of_int bytes /. hw.Pimhw.Config.global_memory_gbps;
+              bytes_d.(id) <- bytes;
+              let gr = em.Pimhw.Energy_model.global_read_pj_per_byte in
+              let gw = em.Pimhw.Energy_model.global_write_pj_per_byte in
+              if is_load then begin
+                pe_global.(id) <- float_of_int bytes *. gr;
+                pe_local.(id) <- float_of_int bytes *. lw
+              end
+              else begin
+                pe_global.(id) <- float_of_int bytes *. gw;
+                pe_local.(id) <- float_of_int bytes *. lr
+              end;
+              let hops = Pimhw.Noc.hops_to_global_memory noc ~core in
+              flithops_d.(id) <- bytes_to_flits hw bytes * hops;
+              pe_noc.(id) <-
+                Pimhw.Energy_model.message_energy_pj em ~hops ~bytes
+          | Isa.Send s ->
+              if s.tag < 0 then
+                invalid_arg "Engine: negative rendezvous tag";
+              kind.(id) <- k_send;
+              tag_of.(id) <- s.tag;
+              if s.tag > !max_tag then max_tag := s.tag;
+              let hops = Pimhw.Noc.hops noc ~src:core ~dst:s.dst in
+              dur.(id) <- Pimhw.Timing.noc_ns timing ~hops ~bytes:s.bytes;
+              flithops_d.(id) <- bytes_to_flits hw s.bytes * hops;
+              pe_noc.(id) <-
+                Pimhw.Energy_model.message_energy_pj em ~hops ~bytes:s.bytes
+          | Isa.Recv r ->
+              if r.tag < 0 then
+                invalid_arg "Engine: negative rendezvous tag";
+              kind.(id) <- k_recv;
+              tag_of.(id) <- r.tag;
+              if r.tag > !max_tag then max_tag := r.tag)
+        instrs)
+    program.Isa.cores;
+  (* second pass: CSR dependency edges (natural order) and dependent
+     edges (rows in DESCENDING id order — the reference engine prepends
+     to per-instruction lists while scanning forward, so it wakes
+     dependents highest-index-first; FIFO unit queues make that order
+     observable and we must match it). *)
+  let dep_off = Array.make (n + 1) 0 in
+  for id = 0 to n - 1 do
+    dep_off.(id + 1) <- dep_off.(id) + dep_count.(id)
+  done;
+  let dep_arr = Array.make !total_deps 0 in
+  let dept_count = Array.make n 0 in
+  let base_of_core = Array.make (core_count + 1) 0 in
+  Array.iteri
+    (fun core instrs ->
+      base_of_core.(core + 1) <- base_of_core.(core) + Array.length instrs)
+    program.Isa.cores;
+  let g = ref 0 in
+  Array.iteri
+    (fun core instrs ->
+      let base = base_of_core.(core) in
+      Array.iter
+        (fun (i : Isa.instr) ->
+          let id = !g in
+          incr g;
+          let cursor = ref dep_off.(id) in
+          List.iter
+            (fun d ->
+              let dg = base + d in
+              dep_arr.(!cursor) <- dg;
+              incr cursor;
+              dept_count.(dg) <- dept_count.(dg) + 1)
             i.Isa.deps)
         instrs)
     program.Isa.cores;
-  let num_ags = Array.length program.Isa.ag_core in
-  let num_banks =
-    max 1 cfg.timing.Pimhw.Timing.config.Pimhw.Config.global_memory_banks
-  in
-  let num_resources = num_ags + core_count + num_banks in
+  let dept_off = Array.make (n + 1) 0 in
+  for id = 0 to n - 1 do
+    dept_off.(id + 1) <- dept_off.(id) + dept_count.(id)
+  done;
+  let dept_arr = Array.make !total_deps 0 in
+  let cursor = Array.copy dept_off in
+  for id = n - 1 downto 0 do
+    for e = dep_off.(id) to dep_off.(id + 1) - 1 do
+      let d = dep_arr.(e) in
+      dept_arr.(cursor.(d)) <- id;
+      cursor.(d) <- cursor.(d) + 1
+    done
+  done;
+  let num_tags = max program.Isa.num_tags (!max_tag + 1) in
   {
     program;
-    cfg;
-    noc = Pimhw.Noc.create ~core_count;
-    missing;
-    dependents;
-    finish =
-      Array.map
-        (fun instrs -> Array.make (Array.length instrs) Float.nan)
-        program.Isa.cores;
+    timing;
+    energy;
+    n;
+    core_count;
+    num_resources;
+    core_of;
+    idx_of;
+    kind;
+    res_of;
+    dep_off;
+    dep_arr;
+    dept_off;
+    dept_arr;
+    dep_count;
+    dur;
+    issue_delta;
+    tag_of;
+    pe_mvm;
+    pe_vec;
+    pe_local;
+    pe_global;
+    pe_noc;
+    windows_d;
+    flithops_d;
+    bytes_d;
+    t_dram = hw.Pimhw.Config.t_dram_latency_ns;
+    missing = Array.make n 0;
+    finish = Array.make n Float.nan;
     issue_next = Array.make core_count 0.0;
-    res_busy = Array.make num_resources false;
-    res_queue = Array.init num_resources (fun _ -> Queue.create ());
-    num_ags;
-    num_banks;
-    arrivals = Hashtbl.create 1024;
-    parked_recvs = Hashtbl.create 64;
-    on_schedule;
-    heap = Heap.create ();
+    res_state = Array.make num_resources 0;
+    free_at = Array.make num_resources 0.0;
+    qhead = Array.make num_resources (-1);
+    qtail = Array.make num_resources (-1);
+    qnext = Array.make (max n 1) (-1);
+    heap = Heap.Packed.create ();
+    arrival = Array.make num_tags Float.nan;
+    parked = Array.make num_tags (-1);
     core_first = Array.make core_count Float.infinity;
     core_last = Array.make core_count 0.0;
     e_mvm = 0.0;
@@ -144,215 +333,230 @@ let init ?on_schedule (cfg : config) (program : Isa.t) =
     store_bytes = 0;
   }
 
-let ready_time st core idx =
-  List.fold_left
-    (fun acc d -> Float.max acc st.finish.(core).(d))
-    0.0 st.program.Isa.cores.(core).(idx).Isa.deps
+let program a = a.program
+let parallelism a = Pimhw.Timing.parallelism a.timing
 
-(* Heap event encodings: completions carry (core, index); unit releases
-   carry core = -1 and the resource id in [index]. *)
-let push_completion st ~time ~core ~index =
-  Heap.push st.heap { Heap.time; core; index }
+let reset a =
+  Array.blit a.dep_count 0 a.missing 0 a.n;
+  Array.fill a.finish 0 a.n Float.nan;
+  Array.fill a.issue_next 0 a.core_count 0.0;
+  Array.fill a.res_state 0 a.num_resources 0;
+  Array.fill a.qhead 0 a.num_resources (-1);
+  Array.fill a.qtail 0 a.num_resources (-1);
+  Heap.Packed.clear a.heap;
+  Array.fill a.arrival 0 (Array.length a.arrival) Float.nan;
+  Array.fill a.parked 0 (Array.length a.parked) (-1);
+  Array.fill a.core_first 0 a.core_count Float.infinity;
+  Array.fill a.core_last 0 a.core_count 0.0;
+  a.e_mvm <- 0.0;
+  a.e_vec <- 0.0;
+  a.e_local <- 0.0;
+  a.e_global <- 0.0;
+  a.e_noc <- 0.0;
+  a.executed <- 0;
+  a.mvm_windows <- 0;
+  a.messages <- 0;
+  a.flit_hops <- 0;
+  a.load_bytes <- 0;
+  a.store_bytes <- 0
 
-let push_release st ~time ~resource =
-  Heap.push st.heap { Heap.time; core = -1; index = resource }
-
-(* Execute an instruction that now owns its unit (if any): compute
-   start / finish / unit-release times, charge energy, record the
-   schedule.  [now] is the earliest instant the unit is available. *)
-let do_schedule st core idx ~now =
-  let instr = st.program.Isa.cores.(core).(idx) in
-  let cfg = st.cfg in
-  let timing = cfg.timing in
-  let em = cfg.energy in
-  let hw = timing.Pimhw.Timing.config in
-  let ready = Float.max now (ready_time st core idx) in
-  let start, finish, release =
-    match instr.Isa.op with
-    | Isa.Mvm m ->
-        let w = float_of_int m.windows in
-        let start = Float.max ready st.issue_next.(core) in
-        (* Window issues consume the core's input-broadcast bandwidth;
-           the AG's crossbars then serialise the windows. *)
-        st.issue_next.(core) <-
-          start +. (w *. timing.Pimhw.Timing.t_interval_ns);
-        let finish = start +. (w *. timing.Pimhw.Timing.t_mvm_ns) in
-        st.e_mvm <-
-          st.e_mvm
-          +. (w *. float_of_int m.xbars *. em.Pimhw.Energy_model.mvm_energy_pj);
-        st.e_local <-
-          st.e_local
-          +. w
-             *. ((float_of_int m.input_bytes
-                 *. em.Pimhw.Energy_model.local_read_pj_per_byte)
-                +. (float_of_int m.output_bytes
-                   *. em.Pimhw.Energy_model.local_write_pj_per_byte));
-        st.mvm_windows <- st.mvm_windows + m.windows;
-        (start, finish, Some finish)
-    | Isa.Vec v ->
-        let dur = Pimhw.Timing.vec_ns timing ~elements:v.elements in
-        st.e_vec <-
-          st.e_vec
-          +. (float_of_int v.elements
-             *. em.Pimhw.Energy_model.vec_energy_pj_per_element);
-        st.e_local <-
-          st.e_local
-          +. float_of_int (2 * v.elements * Nnir.Tensor.bytes_per_element)
-             *. em.Pimhw.Energy_model.local_read_pj_per_byte;
-        (ready, ready +. dur, Some (ready +. dur))
-    | Isa.Load { bytes } | Isa.Store { bytes } ->
-        let stream_ns =
-          float_of_int bytes /. hw.Pimhw.Config.global_memory_gbps
-        in
-        let start = ready in
-        (* the bank channel is held for the streaming part only; the
-           fixed access latency overlaps with other requests *)
-        let release = start +. stream_ns in
-        let finish = start +. hw.Pimhw.Config.t_dram_latency_ns +. stream_ns in
-        let is_load =
-          match instr.Isa.op with Isa.Load _ -> true | _ -> false
-        in
-        if is_load then begin
-          st.load_bytes <- st.load_bytes + bytes;
-          st.e_global <-
-            st.e_global
-            +. (float_of_int bytes
-               *. em.Pimhw.Energy_model.global_read_pj_per_byte);
-          st.e_local <-
-            st.e_local
-            +. (float_of_int bytes
-               *. em.Pimhw.Energy_model.local_write_pj_per_byte)
-        end
-        else begin
-          st.store_bytes <- st.store_bytes + bytes;
-          st.e_global <-
-            st.e_global
-            +. (float_of_int bytes
-               *. em.Pimhw.Energy_model.global_write_pj_per_byte);
-          st.e_local <-
-            st.e_local
-            +. (float_of_int bytes
-               *. em.Pimhw.Energy_model.local_read_pj_per_byte)
+let exec ?on_schedule a =
+  reset a;
+  (* All indices below are validated at arena-build time (dep ranges, AG
+     ids, tag ranges) or derived from in-range construction, so the hot
+     loop uses unsafe accesses throughout. *)
+  let dep_off = a.dep_off and dep_arr = a.dep_arr in
+  let dept_off = a.dept_off and dept_arr = a.dept_arr in
+  let finish_t = a.finish and missing = a.missing in
+  let kind = a.kind and res_of = a.res_of and tag_of = a.tag_of in
+  let dur = a.dur and issue_delta = a.issue_delta in
+  let arrival = a.arrival and parked = a.parked in
+  let qhead = a.qhead and qtail = a.qtail and qnext = a.qnext in
+  let res_state = a.res_state and free_at = a.free_at in
+  let ready_time g =
+    let acc = ref 0.0 in
+    for e = Array.unsafe_get dep_off g to Array.unsafe_get dep_off (g + 1) - 1
+    do
+      let f = Array.unsafe_get finish_t (Array.unsafe_get dep_arr e) in
+      if f > !acc then acc := f
+    done;
+    !acc
+  in
+  (* Execute an instruction that now owns its unit (if any); returns the
+     unit-release time (nan for unit-less SEND/RECV). *)
+  let do_schedule g ~now =
+    let core = Array.unsafe_get a.core_of g in
+    let ready = Float.max now (ready_time g) in
+    let start = ref ready and finish = ref ready and release = ref Float.nan in
+    let k = Array.unsafe_get kind g in
+    if k = k_mvm then begin
+      let s = Float.max ready (Array.unsafe_get a.issue_next core) in
+      Array.unsafe_set a.issue_next core (s +. Array.unsafe_get issue_delta g);
+      let f = s +. Array.unsafe_get dur g in
+      a.e_mvm <- a.e_mvm +. Array.unsafe_get a.pe_mvm g;
+      a.e_local <- a.e_local +. Array.unsafe_get a.pe_local g;
+      a.mvm_windows <- a.mvm_windows + Array.unsafe_get a.windows_d g;
+      start := s;
+      finish := f;
+      release := f
+    end
+    else if k = k_vec then begin
+      let f = ready +. Array.unsafe_get dur g in
+      a.e_vec <- a.e_vec +. Array.unsafe_get a.pe_vec g;
+      a.e_local <- a.e_local +. Array.unsafe_get a.pe_local g;
+      finish := f;
+      release := f
+    end
+    else if k = k_load || k = k_store then begin
+      (* the bank channel is held for the streaming part only; the
+         fixed access latency overlaps with other requests *)
+      release := ready +. Array.unsafe_get dur g;
+      finish := ready +. a.t_dram +. Array.unsafe_get dur g;
+      if k = k_load then
+        a.load_bytes <- a.load_bytes + Array.unsafe_get a.bytes_d g
+      else a.store_bytes <- a.store_bytes + Array.unsafe_get a.bytes_d g;
+      a.e_global <- a.e_global +. Array.unsafe_get a.pe_global g;
+      a.e_local <- a.e_local +. Array.unsafe_get a.pe_local g;
+      a.flit_hops <- a.flit_hops + Array.unsafe_get a.flithops_d g;
+      a.e_noc <- a.e_noc +. Array.unsafe_get a.pe_noc g
+    end
+    else if k = k_send then begin
+      (* the sender injects and moves on; the message then crosses the
+         mesh and becomes available to the matching RECV *)
+      let tag = Array.unsafe_get tag_of g in
+      if not (Float.is_nan (Array.unsafe_get arrival tag)) then
+        invalid_arg
+          (Fmt.str "Engine: duplicate SEND on tag %d (silent overwrite \
+                    would drop a rendezvous)" tag);
+      Array.unsafe_set arrival tag (ready +. Array.unsafe_get dur g);
+      a.messages <- a.messages + 1;
+      a.flit_hops <- a.flit_hops + Array.unsafe_get a.flithops_d g;
+      a.e_noc <- a.e_noc +. Array.unsafe_get a.pe_noc g
+    end
+    else begin
+      (* k_recv *)
+      let arr = Array.unsafe_get arrival (Array.unsafe_get tag_of g) in
+      if Float.is_nan arr then
+        invalid_arg "Engine: recv scheduled before arrival";
+      let s = Float.max ready arr in
+      start := s;
+      finish := s
+    end;
+    let start = !start and finish = !finish in
+    if start < Array.unsafe_get a.core_first core then
+      Array.unsafe_set a.core_first core start;
+    if finish > Array.unsafe_get a.core_last core then
+      Array.unsafe_set a.core_last core finish;
+    Array.unsafe_set finish_t g finish;
+    (match on_schedule with
+    | Some f -> f ~core ~index:a.idx_of.(g) ~start ~finish
+    | None -> ());
+    Heap.Packed.push a.heap finish (a.num_resources + g);
+    !release
+  in
+  (* Releases are lazy: if nobody is queued when a unit is granted, no
+     release event enters the heap — only [free_at] is recorded (state
+     2).  The event is materialised, at the very same (time, code) key
+     the eager scheme would have used, the moment a later request finds
+     the unit still busy; so the heap's pop order over *present* events
+     is unchanged and uncontended units (the common case) cost zero heap
+     traffic.  A state-2 unit whose [free_at] is <= the current event
+     time is exactly one whose release event would already have popped
+     (releases outrank completions at equal time), i.e. a free unit. *)
+  let grant r g ~now =
+    let release = do_schedule g ~now in
+    if Array.unsafe_get qhead r < 0 then begin
+      Array.unsafe_set res_state r 2;
+      Array.unsafe_set free_at r release
+    end
+    else begin
+      Array.unsafe_set res_state r 1;
+      Heap.Packed.push a.heap release r
+    end
+  in
+  let acquire g ~tnow =
+    let r = Array.unsafe_get res_of g in
+    if r < 0 then ignore (do_schedule g ~now:0.0)
+    else begin
+      let s = Array.unsafe_get res_state r in
+      if s = 0 || (s = 2 && Array.unsafe_get free_at r <= tnow) then
+        grant r g ~now:0.0
+      else begin
+        if s = 2 then begin
+          Array.unsafe_set res_state r 1;
+          Heap.Packed.push a.heap (Array.unsafe_get free_at r) r
         end;
-        (* also charge the NoC path between the core and the memory port *)
-        let hops = Pimhw.Noc.hops_to_global_memory st.noc ~core in
-        let flits = bytes_to_flits hw bytes in
-        st.flit_hops <- st.flit_hops + (flits * hops);
-        st.e_noc <-
-          st.e_noc +. Pimhw.Energy_model.message_energy_pj em ~hops ~bytes;
-        (start, finish, Some release)
-    | Isa.Send s ->
-        (* The sender injects and moves on; the message then crosses the
-           mesh and becomes available to the matching RECV. *)
-        let start = ready in
-        let hops = Pimhw.Noc.hops st.noc ~src:core ~dst:s.dst in
-        let arrival =
-          start +. Pimhw.Timing.noc_ns timing ~hops ~bytes:s.bytes
-        in
-        Hashtbl.replace st.arrivals s.tag arrival;
-        st.messages <- st.messages + 1;
-        st.flit_hops <- st.flit_hops + (bytes_to_flits hw s.bytes * hops);
-        st.e_noc <-
-          st.e_noc
-          +. Pimhw.Energy_model.message_energy_pj em ~hops ~bytes:s.bytes;
-        (start, start, None)
-    | Isa.Recv r ->
-        let arrival =
-          match Hashtbl.find_opt st.arrivals r.tag with
-          | Some a -> a
-          | None -> invalid_arg "Engine: recv scheduled before arrival"
-        in
-        let start = Float.max ready arrival in
-        (start, start, None)
+        Array.unsafe_set qnext g (-1);
+        let t = Array.unsafe_get qtail r in
+        if t < 0 then Array.unsafe_set qhead r g
+        else Array.unsafe_set qnext t g;
+        Array.unsafe_set qtail r g
+      end
+    end
   in
-  if start < st.core_first.(core) then st.core_first.(core) <- start;
-  if finish > st.core_last.(core) then st.core_last.(core) <- finish;
-  st.finish.(core).(idx) <- finish;
-  (match st.on_schedule with
-  | Some f -> f ~core ~index:idx ~start ~finish
-  | None -> ());
-  push_completion st ~time:finish ~core ~index:idx;
-  release
-
-let grant st resource core idx ~now =
-  st.res_busy.(resource) <- true;
-  match do_schedule st core idx ~now with
-  | Some release -> push_release st ~time:release ~resource
-  | None ->
-      (* cannot happen: only unit-less ops return None, and they are
-         never granted a unit *)
-      st.res_busy.(resource) <- false
-
-(* An instruction whose dependencies (and message, for RECV) are ready:
-   occupy its unit or join the line. *)
-let acquire st core idx =
-  let instr = st.program.Isa.cores.(core).(idx) in
-  match resource_of st core instr with
-  | None -> ignore (do_schedule st core idx ~now:0.0)
-  | Some r ->
-      if st.res_busy.(r) then Queue.add (core, idx) st.res_queue.(r)
-      else grant st r core idx ~now:0.0
-
-let release_resource st resource ~now =
-  if Queue.is_empty st.res_queue.(resource) then
-    st.res_busy.(resource) <- false
-  else begin
-    let core, idx = Queue.pop st.res_queue.(resource) in
-    grant st resource core idx ~now
-  end
-
-(* Attempt to schedule an instruction whose dependency count reached 0.
-   RECVs whose message has not been injected yet are parked until the
-   SEND executes. *)
-let try_schedule st core idx =
-  match st.program.Isa.cores.(core).(idx).Isa.op with
-  | Isa.Recv r when not (Hashtbl.mem st.arrivals r.tag) ->
-      Hashtbl.replace st.parked_recvs r.tag (core, idx)
-  | _ -> acquire st core idx
-
-let run ?parallelism ?on_schedule (hw : Pimhw.Config.t) (program : Isa.t) =
-  let parallelism = match parallelism with Some p -> p | None -> 20 in
-  let cfg = make_config ~parallelism hw in
-  let st = init ?on_schedule cfg program in
-  (* seed: all instructions with no dependencies *)
-  Array.iteri
-    (fun core missing ->
-      Array.iteri (fun idx m -> if m = 0 then try_schedule st core idx) missing)
-    st.missing;
-  let rec drain () =
-    match Heap.pop st.heap with
-    | None -> ()
-    | Some { Heap.time; core; index } when core < 0 ->
-        release_resource st index ~now:time;
-        drain ()
-    | Some { Heap.core; index; _ } ->
-        st.executed <- st.executed + 1;
-        (* wake the matching parked RECV if this was a SEND *)
-        (match st.program.Isa.cores.(core).(index).Isa.op with
-        | Isa.Send s -> (
-            match Hashtbl.find_opt st.parked_recvs s.tag with
-            | Some (rc, ri) when st.missing.(rc).(ri) = 0 ->
-                Hashtbl.remove st.parked_recvs s.tag;
-                acquire st rc ri
-            | _ -> ())
-        | _ -> ());
-        List.iter
-          (fun dep_idx ->
-            st.missing.(core).(dep_idx) <- st.missing.(core).(dep_idx) - 1;
-            if st.missing.(core).(dep_idx) = 0 then try_schedule st core dep_idx)
-          st.dependents.(core).(index);
-        drain ()
+  let release_resource r ~now =
+    let g = Array.unsafe_get qhead r in
+    if g < 0 then Array.unsafe_set res_state r 0
+    else begin
+      let nx = Array.unsafe_get qnext g in
+      Array.unsafe_set qhead r nx;
+      if nx < 0 then Array.unsafe_set qtail r (-1);
+      grant r g ~now
+    end
   in
-  drain ();
-  let total = Isa.num_instrs program in
-  let makespan = Array.fold_left Float.max 0.0 st.core_last in
-  let em = cfg.energy in
+  (* RECVs whose message has not been injected yet park in the dense tag
+     table until the SEND executes. *)
+  let try_schedule g ~tnow =
+    if
+      Array.unsafe_get kind g = k_recv
+      && Float.is_nan (Array.unsafe_get arrival (Array.unsafe_get tag_of g))
+    then Array.unsafe_set parked (Array.unsafe_get tag_of g) g
+    else acquire g ~tnow
+  in
+  (* seed: all instructions with no dependencies, in (core, index) order.
+     No event has been processed yet, so every granted unit is still
+     busy from the seed's viewpoint: tnow = -inf. *)
+  for g = 0 to a.n - 1 do
+    if Array.unsafe_get a.dep_count g = 0 then
+      try_schedule g ~tnow:Float.neg_infinity
+  done;
+  let heap = a.heap in
+  while Heap.Packed.pop heap do
+    let code = Heap.Packed.last_code heap in
+    let tnow = Heap.Packed.last_time heap in
+    if code < a.num_resources then release_resource code ~now:tnow
+    else begin
+      let g = code - a.num_resources in
+      a.executed <- a.executed + 1;
+      (* wake the matching parked RECV if this was a SEND *)
+      (if Array.unsafe_get kind g = k_send then begin
+         let tag = Array.unsafe_get tag_of g in
+         let p = Array.unsafe_get parked tag in
+         if p >= 0 && Array.unsafe_get missing p = 0 then begin
+           Array.unsafe_set parked tag (-1);
+           acquire p ~tnow
+         end
+       end);
+      for e =
+        Array.unsafe_get dept_off g
+        to Array.unsafe_get dept_off (g + 1) - 1
+      do
+        let d = Array.unsafe_get dept_arr e in
+        let m = Array.unsafe_get missing d - 1 in
+        Array.unsafe_set missing d m;
+        if m = 0 then try_schedule d ~tnow
+      done
+    end
+  done;
+  let total = Isa.num_instrs a.program in
+  let makespan = Array.fold_left Float.max 0.0 a.core_last in
+  let em = a.energy in
   let core_busy =
     Array.mapi
       (fun i last ->
-        if st.core_first.(i) = Float.infinity then 0.0
-        else last -. st.core_first.(i))
-      st.core_last
+        if a.core_first.(i) = Float.infinity then 0.0
+        else last -. a.core_first.(i))
+      a.core_last
   in
   let core_static =
     Array.fold_left
@@ -365,21 +569,22 @@ let run ?parallelism ?on_schedule (hw : Pimhw.Config.t) (program : Isa.t) =
       0.0 core_busy
   in
   {
-    Metrics.graph_name = program.Isa.graph_name;
-    mode = program.Isa.mode;
+    Metrics.graph_name = a.program.Isa.graph_name;
+    mode = a.program.Isa.mode;
     makespan_ns = makespan;
     throughput_ips = (if makespan > 0.0 then 1e9 /. makespan else 0.0);
     (* in HT mode an inference crosses [pipeline_depth] stages, each
        lasting one steady-state interval; in LL the stream IS one
        inference *)
-    latency_ns = makespan *. float_of_int (max 1 program.Isa.pipeline_depth);
+    latency_ns =
+      makespan *. float_of_int (max 1 a.program.Isa.pipeline_depth);
     energy =
       {
-        Metrics.mvm_pj = st.e_mvm;
-        vec_pj = st.e_vec;
-        local_mem_pj = st.e_local;
-        global_mem_pj = st.e_global;
-        noc_pj = st.e_noc;
+        Metrics.mvm_pj = a.e_mvm;
+        vec_pj = a.e_vec;
+        local_mem_pj = a.e_local;
+        global_mem_pj = a.e_global;
+        noc_pj = a.e_noc;
         core_static_pj = core_static;
         router_static_pj = router_static;
         global_static_pj =
@@ -387,14 +592,17 @@ let run ?parallelism ?on_schedule (hw : Pimhw.Config.t) (program : Isa.t) =
         hyper_transport_static_pj =
           makespan *. em.Pimhw.Energy_model.hyper_transport_static_mw;
       };
-    instrs_executed = st.executed;
+    instrs_executed = a.executed;
     instrs_total = total;
-    mvm_windows = st.mvm_windows;
-    messages = st.messages;
-    flit_hops = st.flit_hops;
-    global_load_bytes = st.load_bytes;
-    global_store_bytes = st.store_bytes;
+    mvm_windows = a.mvm_windows;
+    messages = a.messages;
+    flit_hops = a.flit_hops;
+    global_load_bytes = a.load_bytes;
+    global_store_bytes = a.store_bytes;
     core_busy_ns = core_busy;
-    local_peak_bytes = program.Isa.memory.Isa.local_peak_bytes;
-    deadlocked = st.executed < total;
+    local_peak_bytes = a.program.Isa.memory.Isa.local_peak_bytes;
+    deadlocked = a.executed < total;
   }
+
+let run ?parallelism ?on_schedule (hw : Pimhw.Config.t) (program : Isa.t) =
+  exec ?on_schedule (arena ?parallelism hw program)

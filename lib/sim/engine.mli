@@ -5,17 +5,44 @@
     bandwidth, and XY-mesh message latency; accounts dynamic energy per
     event and static energy per component-active window.
 
+    This is the flat-arena implementation: the program is compiled once
+    into contiguous arrays (CSR dependency edges, dense rendezvous
+    tables, precomputed per-instruction durations and energy charges,
+    an int-packed event heap) and the arena can be re-run by resetting
+    state instead of reallocating it.  Results are bit-identical to the
+    reference interpreter {!Engine_ref}.
+
     Execution is dataflow (dependency-driven): well-formed programs
     always terminate, and unmatched rendezvous surface as
-    [deadlocked = true] in the result instead of a hang. *)
+    [deadlocked = true] in the result instead of a hang.  A program that
+    executes two SENDs on the same rendezvous tag (possible only past
+    [Pimcomp.Isa.check], e.g. hand-built streams) is rejected with
+    [Invalid_argument] instead of silently overwriting the earlier
+    message. *)
 
-type config = {
-  timing : Pimhw.Timing.t;
-  energy : Pimhw.Energy_model.t;
-  noc : Pimhw.Noc.t;
-}
+type t
+(** A reusable simulation arena: one compiled program at one parallelism
+    degree on one hardware configuration.  [exec] may be called any
+    number of times; each call resets the mutable state in place. *)
 
-val make_config : ?parallelism:int -> Pimhw.Config.t -> config
+val default_parallelism : int
+(** 20 — the paper's energy-evaluation setting; the single source of
+    truth for every [?parallelism] default in this library. *)
+
+val arena : ?parallelism:int -> Pimhw.Config.t -> Pimcomp.Isa.t -> t
+(** Build the flat arena: O(instructions + edges), performed once per
+    (program, parallelism, hardware) triple. *)
+
+val exec :
+  ?on_schedule:(core:int -> index:int -> start:float -> finish:float -> unit) ->
+  t ->
+  Metrics.t
+(** Simulate the arena's program.  Deterministic: repeated calls return
+    bit-identical metrics.  [on_schedule] observes every instruction as
+    it is scheduled (see {!Trace}). *)
+
+val program : t -> Pimcomp.Isa.t
+val parallelism : t -> int
 
 val run :
   ?parallelism:int ->
@@ -23,7 +50,6 @@ val run :
   Pimhw.Config.t ->
   Pimcomp.Isa.t ->
   Metrics.t
-(** [run ~parallelism hw program] simulates the compiled program on the
-    given hardware at the given parallelism degree (default 20, the
-    paper's energy-evaluation setting).  Deterministic.  [on_schedule]
-    observes every instruction as it is scheduled (see {!Trace}). *)
+(** [run ~parallelism hw program] = [exec (arena ~parallelism hw
+    program)]: one-shot simulation at the given parallelism degree
+    (default {!default_parallelism}). *)

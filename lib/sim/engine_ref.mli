@@ -1,0 +1,12 @@
+(** Reference discrete-event engine: the original boxed-state
+    interpreter, kept for differential testing.  {!Engine} (the
+    flat-arena engine) must produce bit-identical {!Metrics.t} and the
+    same set of [on_schedule] events on every well-formed program. *)
+
+val run :
+  ?parallelism:int ->
+  ?on_schedule:(core:int -> index:int -> start:float -> finish:float -> unit) ->
+  Pimhw.Config.t ->
+  Pimcomp.Isa.t ->
+  Metrics.t
+(** Same contract as {!Engine.run}. *)

@@ -8,3 +8,20 @@ val is_empty : t -> bool
 val length : t -> int
 val push : t -> entry -> unit
 val pop : t -> entry option
+
+(** Int-packed min-heap over (float time, int code) pairs held in two
+    parallel unboxed arrays: no allocation on push or pop.  Ties break
+    on the code.  After [pop] returns [true], read the event back with
+    [last_time] / [last_code]. *)
+module Packed : sig
+  type t
+
+  val create : unit -> t
+  val clear : t -> unit
+  val is_empty : t -> bool
+  val length : t -> int
+  val push : t -> float -> int -> unit
+  val pop : t -> bool
+  val last_time : t -> float
+  val last_code : t -> int
+end

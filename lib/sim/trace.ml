@@ -16,7 +16,11 @@ type event = {
 
 type t = { program : Isa.t; events : event array (* by start time *) }
 
-let run ?parallelism hw (program : Isa.t) =
+(* Capture on an existing arena: repeated captures (e.g. across a
+   parameter study of the same compiled program) reset the arena's state
+   instead of rebuilding it. *)
+let capture arena =
+  let program = Engine.program arena in
   let collected = ref [] in
   let on_schedule ~core ~index ~start ~finish =
     let instr = program.Isa.cores.(core).(index) in
@@ -31,7 +35,7 @@ let run ?parallelism hw (program : Isa.t) =
       }
       :: !collected
   in
-  let metrics = Engine.run ?parallelism ~on_schedule hw program in
+  let metrics = Engine.exec ~on_schedule arena in
   let events = Array.of_list !collected in
   Array.sort
     (fun a b ->
@@ -39,6 +43,9 @@ let run ?parallelism hw (program : Isa.t) =
       else compare (a.core, a.index) (b.core, b.index))
     events;
   (metrics, { program; events })
+
+let run ?parallelism hw (program : Isa.t) =
+  capture (Engine.arena ?parallelism hw program)
 
 let events t = t.events
 let length t = Array.length t.events

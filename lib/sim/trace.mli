@@ -16,6 +16,10 @@ val run :
   ?parallelism:int -> Pimhw.Config.t -> Pimcomp.Isa.t -> Metrics.t * t
 (** Simulate and collect the full event trace (sorted by start time). *)
 
+val capture : Engine.t -> Metrics.t * t
+(** Like {!run}, but on an existing arena: repeated captures reset the
+    arena in place instead of rebuilding it. *)
+
 val events : t -> event array
 val length : t -> int
 val events_of_core : t -> int -> event list

@@ -1,0 +1,98 @@
+(* Tests for the domain-parallel sweep runner: slot-ordered results,
+   parallel/sequential determinism, exception propagation, and the
+   simulate convenience over real compiled programs. *)
+
+let hw = Pimhw.Config.puma_like
+
+let test_map_ordering () =
+  let items = Array.init 100 (fun i -> i) in
+  let seq = Pimsim.Parallel_sweep.map ~domains:1 (fun i -> i * i) items in
+  List.iter
+    (fun domains ->
+      let par = Pimsim.Parallel_sweep.map ~domains (fun i -> i * i) items in
+      Alcotest.(check (array int))
+        (Fmt.str "%d domains, slot order" domains)
+        seq par)
+    [ 2; 4; 7 ]
+
+let test_map_more_domains_than_items () =
+  let r =
+    Pimsim.Parallel_sweep.map ~domains:8 (fun i -> i + 1) [| 1; 2; 3 |]
+  in
+  Alcotest.(check (array int)) "3 items on 8 domains" [| 2; 3; 4 |] r
+
+let test_map_empty_and_default () =
+  Alcotest.(check (array int))
+    "empty input" [||]
+    (Pimsim.Parallel_sweep.map ~domains:4 (fun i -> i) [||]);
+  Alcotest.(check bool) "default domain count >= 1" true
+    (Pimsim.Parallel_sweep.default_domains () >= 1)
+
+let test_map_list () =
+  Alcotest.(check (list string))
+    "list variant"
+    [ "a!"; "b!"; "c!" ]
+    (Pimsim.Parallel_sweep.map_list ~domains:2
+       (fun s -> s ^ "!")
+       [ "a"; "b"; "c" ])
+
+exception Boom of int
+
+let test_exception_propagation () =
+  let items = Array.init 10 (fun i -> i) in
+  match
+    Pimsim.Parallel_sweep.map ~domains:3
+      (fun i -> if i = 5 then raise (Boom i) else i)
+      items
+  with
+  | _ -> Alcotest.fail "worker exception must reach the caller"
+  | exception Boom 5 -> ()
+
+let compiled ~mode =
+  let g = Nnir.Zoo.tiny () in
+  let options =
+    { Pimcomp.Compile.default_options with
+      strategy = Pimcomp.Compile.Puma_like;
+      core_count = Some 8;
+      mode }
+  in
+  (Pimcomp.Compile.compile ~options hw g).Pimcomp.Compile.program
+
+let test_simulate_matches_sequential () =
+  let ht = compiled ~mode:Pimcomp.Mode.High_throughput in
+  let ll = compiled ~mode:Pimcomp.Mode.Low_latency in
+  let points = [| (ht, 4); (ht, 20); (ll, 4); (ll, 20) |] in
+  let seq = Pimsim.Parallel_sweep.simulate ~domains:1 hw points in
+  let par = Pimsim.Parallel_sweep.simulate ~domains:4 hw points in
+  Alcotest.(check bool) "parallel sweep bit-identical to sequential" true
+    (seq = par);
+  (* and both agree with the reference engine, point by point *)
+  Array.iteri
+    (fun i (program, parallelism) ->
+      let m_ref = Pimsim.Engine_ref.run ~parallelism hw program in
+      Alcotest.(check bool)
+        (Fmt.str "point %d matches Engine_ref" i)
+        true
+        (seq.(i) = m_ref))
+    points
+
+let () =
+  Alcotest.run "parallel_sweep"
+    [
+      ( "map",
+        [
+          Alcotest.test_case "slot ordering" `Quick test_map_ordering;
+          Alcotest.test_case "domains > items" `Quick
+            test_map_more_domains_than_items;
+          Alcotest.test_case "empty and default" `Quick
+            test_map_empty_and_default;
+          Alcotest.test_case "map_list" `Quick test_map_list;
+          Alcotest.test_case "exception propagation" `Quick
+            test_exception_propagation;
+        ] );
+      ( "simulate",
+        [
+          Alcotest.test_case "matches sequential and Engine_ref" `Quick
+            test_simulate_matches_sequential;
+        ] );
+    ]

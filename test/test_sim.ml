@@ -314,6 +314,108 @@ let test_batch_steady_state () =
   Alcotest.(check bool) "steady interval positive" true
     (b.Pimsim.Batch.steady_interval_ns > 0.0)
 
+let test_duplicate_send_rejected () =
+  (* two SENDs on the same rendezvous tag: the dense tag table must
+     refuse the second injection instead of silently overwriting the
+     first message's arrival time *)
+  let send = instr (Pimcomp.Isa.Send { dst = 1; bytes = 8; tag = 1 }) in
+  let recv = instr (Pimcomp.Isa.Recv { src = 0; bytes = 8; tag = 1 }) in
+  let p = mk_program [| [| send; send |]; [| recv |] |] in
+  match run p with
+  | _ -> Alcotest.fail "duplicate SEND on one tag must be rejected"
+  | exception Invalid_argument _ -> ()
+
+(* --- differential: flat-arena Engine vs the reference interpreter ----- *)
+
+let compile_zoo ~mode name =
+  let g = Nnir.Zoo.build ~input_size:(Nnir.Zoo.min_input_size name) name in
+  let options =
+    { Pimcomp.Compile.default_options with
+      strategy = Pimcomp.Compile.Puma_like;
+      mode }
+  in
+  (Pimcomp.Compile.compile ~options hw g).Pimcomp.Compile.program
+
+(* Every zoo network compiled PUMA-like at its minimum input size, in
+   both modes — shared between the batch and differential suites. *)
+let zoo_programs =
+  lazy
+    (List.concat_map
+       (fun name ->
+         List.map
+           (fun mode -> (name, mode, compile_zoo ~mode name))
+           Pimcomp.Mode.all)
+       Nnir.Zoo.names)
+
+let collect_events run_fn =
+  let events = ref [] in
+  let on_schedule ~core ~index ~start ~finish =
+    events := (core, index, start, finish) :: !events
+  in
+  let m = run_fn ~on_schedule in
+  (* the engines may schedule same-instant events in different internal
+     orders; the set of (core, index, start, finish) windows is the
+     observable contract, so compare order-insensitively *)
+  (m, List.sort compare !events)
+
+let engines_agree ?(parallelisms = [ 1; 7; 20 ]) program =
+  List.for_all
+    (fun parallelism ->
+      let m_new, ev_new =
+        collect_events (fun ~on_schedule ->
+            Pimsim.Engine.run ~parallelism ~on_schedule hw program)
+      in
+      let m_ref, ev_ref =
+        collect_events (fun ~on_schedule ->
+            Pimsim.Engine_ref.run ~parallelism ~on_schedule hw program)
+      in
+      m_new = m_ref && ev_new = ev_ref)
+    parallelisms
+
+let test_differential_zoo () =
+  List.iter
+    (fun (name, mode, program) ->
+      Alcotest.(check bool)
+        (Fmt.str "%s %s: engines bit-identical" name
+           (Pimcomp.Mode.to_string mode))
+        true (engines_agree program))
+    (Lazy.force zoo_programs)
+
+let random_programs_differential =
+  QCheck.Test.make
+    ~name:"random programs: engines bit-identical (metrics + events)"
+    ~count:15
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let g = Nnir.Zoo.tiny () in
+      let table = Pimcomp.Partition.of_graph hw g in
+      let rng = Pimcomp.Rng.create ~seed in
+      let chrom =
+        Pimcomp.Chromosome.random_initial rng table ~core_count:6
+          ~max_node_num_in_core:8 ~extra_replica_attempts:3 ()
+      in
+      let layout = Pimcomp.Layout.of_chromosome chrom in
+      List.for_all engines_agree
+        [
+          Pimcomp.Schedule_ht.schedule layout;
+          Pimcomp.Schedule_ll.schedule layout;
+        ])
+
+let test_batch_zoo_coverage () =
+  List.iter
+    (fun (name, mode, program) ->
+      let label = Fmt.str "%s %s" name (Pimcomp.Mode.to_string mode) in
+      let b = Pimsim.Batch.replicate program ~batches:2 in
+      Alcotest.(check (list string))
+        (label ^ ": replicated program well-formed")
+        [] (Pimcomp.Isa.check b);
+      let m_new = Pimsim.Engine.run ~parallelism:20 hw b in
+      let m_ref = Pimsim.Engine_ref.run ~parallelism:20 hw b in
+      Alcotest.(check bool)
+        (label ^ ": batched metrics identical across engines")
+        true (m_new = m_ref))
+    (Lazy.force zoo_programs)
+
 let test_trace_complete_and_ordered () =
   let g = Nnir.Zoo.tiny () in
   let options =
@@ -420,6 +522,8 @@ let () =
             test_global_memory_bandwidth;
           Alcotest.test_case "bank conflicts" `Quick test_bank_conflicts;
           Alcotest.test_case "energy accounting" `Quick test_energy_accounting;
+          Alcotest.test_case "duplicate send rejected" `Quick
+            test_duplicate_send_rejected;
         ] );
       ( "whole-program",
         [
@@ -437,6 +541,12 @@ let () =
           Alcotest.test_case "replication well-formed" `Quick
             test_batch_replication;
           Alcotest.test_case "steady state" `Quick test_batch_steady_state;
+          Alcotest.test_case "zoo coverage" `Quick test_batch_zoo_coverage;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "zoo networks" `Quick test_differential_zoo;
+          QCheck_alcotest.to_alcotest random_programs_differential;
         ] );
       ( "trace",
         [
