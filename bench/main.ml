@@ -440,7 +440,15 @@ let batch () =
    Full (re-evaluate every child from scratch) and Incremental (refresh
    only the terms the mutation touched) evaluation.  Both paths share
    their arithmetic, so the trajectories — and the final best fitness —
-   must be bit-identical; only the wall time may differ.  Results land in
+   must be bit-identical; only the wall time may differ.
+
+   A second section compares the single-population GA against the island
+   model at the same evaluation budget: the island run is timed both
+   single-threaded (domains = 1) and fanned out over the domain pool,
+   and both runs record a best-fitness-vs-wall-clock curve via the
+   progress callback.  On a 1-core host the parallel number is honestly
+   below 1x (domain spawn/join overhead with nothing to overlap), as
+   with the sweep numbers in BENCH_SIM.json.  Results land in
    BENCH_GA.json for the driver. *)
 let ga_throughput () =
   let net = ("resnet18", Nnir.Zoo.scaled_input_size ~factor:4 "resnet18") in
@@ -499,6 +507,80 @@ let ga_throughput () =
         (mode, full, full_s, inc, inc_s, identical))
       Pimcomp.Mode.all
   in
+  (* Island model vs single population at the same budget.  Curves are
+     (wall seconds, generations, best fitness) triples sampled at every
+     migration batch (and the matching generations of the single run). *)
+  let island = Pimcomp.Genetic.default_island_params in
+  let domains_par = max 2 (Pimutil.Domain_pool.default_domains ()) in
+  let interval = island.Pimcomp.Genetic.migration_interval in
+  let run_single_curve mode =
+    let t0 = Unix.gettimeofday () in
+    let curve = ref [] in
+    let progress ~generations ~best =
+      if generations mod interval = 0 then
+        curve := (Unix.gettimeofday () -. t0, generations, best) :: !curve
+    in
+    let rng = Pimcomp.Rng.create ~seed:42 in
+    let r =
+      Pimcomp.Genetic.optimize ~params ~progress ~mode ~timing ~rng table
+        ~core_count ~max_node_num_in_core:16 ()
+    in
+    (r, Unix.gettimeofday () -. t0, List.rev !curve)
+  in
+  let run_island ~domains mode =
+    let t0 = Unix.gettimeofday () in
+    let curve = ref [] in
+    let progress ~generations ~best =
+      curve := (Unix.gettimeofday () -. t0, generations, best) :: !curve
+    in
+    let rng = Pimcomp.Rng.create ~seed:42 in
+    let r =
+      Pimcomp.Genetic.optimize_islands ~params
+        ~island:{ island with Pimcomp.Genetic.domains = Some domains }
+        ~progress ~mode ~timing ~rng table ~core_count
+        ~max_node_num_in_core:16 ()
+    in
+    (r, Unix.gettimeofday () -. t0, List.rev !curve)
+  in
+  Fmt.pr
+    "Island model: %d islands, migrate top %d over the ring every %d@.\
+     generations, same seed and budget as the single population above.@.@."
+    island.Pimcomp.Genetic.islands island.Pimcomp.Genetic.migration_size
+    interval;
+  Fmt.pr "%-4s %-14s | %9s %12s | %18s@." "mode" "variant" "wall s" "evals"
+    "best fitness";
+  let island_rows =
+    List.map
+      (fun mode ->
+        let single, single_s, single_curve = run_single_curve mode in
+        let seq, seq_s, _ = run_island ~domains:1 mode in
+        let par, par_s, par_curve = run_island ~domains:domains_par mode in
+        let identical =
+          seq.Pimcomp.Genetic.best_fitness = par.Pimcomp.Genetic.best_fitness
+          && seq.Pimcomp.Genetic.history = par.Pimcomp.Genetic.history
+        in
+        let line label (r : Pimcomp.Genetic.result) s =
+          Fmt.pr "%-4s %-14s | %9.2f %12d | %18.6g@."
+            (Pimcomp.Mode.to_string mode)
+            label s r.Pimcomp.Genetic.evaluations
+            r.Pimcomp.Genetic.best_fitness
+        in
+        line "single" single single_s;
+        line "islands d=1" seq seq_s;
+        line (Fmt.str "islands d=%d" domains_par) par par_s;
+        Fmt.pr "%-4s parallel speedup %.2fx, domain counts %s, islands %s@.@."
+          (Pimcomp.Mode.to_string mode)
+          (seq_s /. par_s)
+          (if identical then "bit-identical" else "DIVERGED")
+          (if
+             par.Pimcomp.Genetic.best_fitness
+             <= single.Pimcomp.Genetic.best_fitness
+           then "equal-or-better"
+           else "worse than single");
+        (mode, single, single_s, single_curve, seq_s, par, par_s, par_curve,
+         identical))
+      Pimcomp.Mode.all
+  in
   let oc = open_out "BENCH_GA.json" in
   let json = Format.formatter_of_out_channel oc in
   Format.fprintf json "{@.  \"network\": \"%s\",@.  \"input_size\": %d,@."
@@ -522,7 +604,44 @@ let ga_throughput () =
         (full_s /. inc_s) inc.Pimcomp.Genetic.best_fitness identical
         (if i = List.length rows - 1 then "" else ","))
     rows;
-  Format.fprintf json "  ]@.}@.";
+  Format.fprintf json "  ],@.";
+  Format.fprintf json
+    "  \"islands\": {@.    \"islands\": %d, \"migration_interval\": %d, \
+     \"migration_size\": %d, \"domains\": %d,@.    \"modes\": [@."
+    island.Pimcomp.Genetic.islands interval
+    island.Pimcomp.Genetic.migration_size domains_par;
+  let curve_json ppf curve =
+    Format.fprintf ppf "[%a]"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         (fun ppf (t, g, best) ->
+           Format.fprintf ppf "[%.3f, %d, %.17g]" t g best))
+      curve
+  in
+  List.iteri
+    (fun i
+         (mode, single, single_s, single_curve, seq_s, par, par_s, par_curve,
+          identical) ->
+      Format.fprintf json
+        "      { \"mode\": %S,@.        \"single_seconds\": %.3f, \
+         \"single_best\": %.17g, \"single_evaluations\": %d,@.        \
+         \"island_seq_seconds\": %.3f, \"island_par_seconds\": %.3f, \
+         \"parallel_speedup\": %.2f,@.        \"island_best\": %.17g, \
+         \"island_evaluations\": %d,@.        \
+         \"bit_identical_across_domains\": %b, \
+         \"island_equal_or_better\": %b,@.        \"single_curve\": %a,@.        \
+         \"island_curve\": %a }%s@."
+        (Pimcomp.Mode.to_string mode)
+        single_s single.Pimcomp.Genetic.best_fitness
+        single.Pimcomp.Genetic.evaluations seq_s par_s (seq_s /. par_s)
+        par.Pimcomp.Genetic.best_fitness par.Pimcomp.Genetic.evaluations
+        identical
+        (par.Pimcomp.Genetic.best_fitness
+        <= single.Pimcomp.Genetic.best_fitness)
+        curve_json single_curve curve_json par_curve
+        (if i = List.length island_rows - 1 then "" else ","))
+    island_rows;
+  Format.fprintf json "    ]@.  }@.}@.";
   close_out oc;
   Fmt.pr "wrote BENCH_GA.json@."
 

@@ -81,6 +81,26 @@ let fast_arg =
   let doc = "Use the reduced GA setting (population 24) for quick runs." in
   Arg.(value & flag & info [ "fast" ] ~doc)
 
+let ga_islands_arg =
+  let doc =
+    "Run the GA as a domain-parallel island model with this many islands \
+     (the mapping depends only on the seed and the island/migration \
+     parameters, never on the machine's core count)."
+  in
+  Arg.(value & opt (some int) None & info [ "ga-islands" ] ~docv:"N" ~doc)
+
+let ga_migration_arg =
+  let doc =
+    "Island-GA migration: generations between ring migrations, optionally \
+     followed by the number of migrants (INTERVAL or INTERVAL,K).  Implies \
+     the island model with the default island count unless --ga-islands is \
+     also given."
+  in
+  Arg.(
+    value
+    & opt (some (list int)) None
+    & info [ "ga-migration" ] ~docv:"INTERVAL[,K]" ~doc)
+
 let verbose_arg =
   let doc = "Print replication decisions and the mapping." in
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc)
@@ -134,13 +154,40 @@ let strategy_of_flags name fast generations seed =
   | "random" -> Pimcomp.Compile.Random_search params
   | s -> raise (Invalid_argument (Fmt.str "unknown strategy %S" s))
 
+let islands_of_flags islands migration =
+  match (islands, migration) with
+  | None, None -> None
+  | _ ->
+      let base = Pimcomp.Genetic.default_island_params in
+      let base =
+        match islands with
+        | Some n when n < 1 ->
+            raise (Invalid_argument "--ga-islands must be >= 1")
+        | Some n -> { base with Pimcomp.Genetic.islands = n }
+        | None -> base
+      in
+      Some
+        (match migration with
+        | None -> base
+        | Some [ interval ] ->
+            { base with Pimcomp.Genetic.migration_interval = interval }
+        | Some [ interval; k ] ->
+            {
+              base with
+              Pimcomp.Genetic.migration_interval = interval;
+              migration_size = k;
+            }
+        | Some _ ->
+            raise
+              (Invalid_argument "--ga-migration expects INTERVAL or INTERVAL,K"))
+
 let objective_of_string = function
   | "time" -> Pimcomp.Fitness.Minimize_time
   | "edp" | "energy-delay" -> Pimcomp.Fitness.Minimize_energy_delay
   | s -> raise (Invalid_argument (Fmt.str "unknown objective %S" s))
 
-let build_options ~mode ~parallelism ~cores ~allocator ~strategy ~seed
-    ~objective =
+let build_options ?ga_islands ~mode ~parallelism ~cores ~allocator ~strategy
+    ~seed ~objective () =
   {
     Pimcomp.Compile.default_options with
     mode;
@@ -150,6 +197,7 @@ let build_options ~mode ~parallelism ~cores ~allocator ~strategy ~seed
     seed;
     strategy;
     objective;
+    ga_islands;
   }
 
 let wrap f = try Ok (f ()) with
@@ -189,7 +237,8 @@ let table1_cmd =
 
 let compile_term simulate =
   let run network input_size mode parallelism cores allocator strategy seed
-      generations fast verbose simplify objective emit_isa emit_trace =
+      generations fast ga_islands ga_migration verbose simplify objective
+      emit_isa emit_trace =
     wrap (fun () ->
         let graph = load_network network input_size in
         let graph =
@@ -203,10 +252,13 @@ let compile_term simulate =
         in
         Fmt.pr "%a@.@." Nnir.Stats.pp_summary (Nnir.Stats.of_graph graph);
         let options =
-          build_options ~mode ~parallelism ~cores ~allocator
+          build_options
+            ?ga_islands:(islands_of_flags ga_islands ga_migration)
+            ~mode ~parallelism ~cores ~allocator
             ~strategy:(strategy_of_flags strategy fast generations seed)
             ~seed
             ~objective:(objective_of_string objective)
+            ()
         in
         let hw = Pimhw.Config.puma_like in
         let result = Pimcomp.Compile.compile ~options hw graph in
@@ -247,8 +299,8 @@ let compile_term simulate =
     term_result
       (const run $ network_arg $ input_size_arg $ mode_arg $ parallelism_arg
      $ cores_arg $ allocator_arg $ strategy_arg $ seed_arg $ generations_arg
-     $ fast_arg $ verbose_arg $ simplify_arg $ objective_arg $ emit_isa_arg
-     $ emit_trace_arg))
+     $ fast_arg $ ga_islands_arg $ ga_migration_arg $ verbose_arg
+     $ simplify_arg $ objective_arg $ emit_isa_arg $ emit_trace_arg))
 
 let compile_cmd =
   Cmd.v
@@ -298,7 +350,7 @@ let sweep_cmd =
             (fun (mode, parallelism) ->
               let options =
                 build_options ~mode ~parallelism ~cores:None ~allocator
-                  ~strategy ~seed ~objective:Pimcomp.Fitness.Minimize_time
+                  ~strategy ~seed ~objective:Pimcomp.Fitness.Minimize_time ()
               in
               let r = Pimcomp.Compile.compile ~options hw graph in
               Pimsim.Engine.run ~parallelism hw r.Pimcomp.Compile.program)

@@ -51,6 +51,14 @@ let copy t =
     used_xbars = Array.copy t.used_xbars;
   }
 
+(* [copy] deliberately shares [scratch_order] between parent and child —
+   it carries nothing between calls, and within one domain the sharing
+   is free.  Across domains it is a data race: two chromosomes mutating
+   concurrently would shuffle the same array.  [unshare] is the copy to
+   use when a chromosome crosses a domain boundary (island migration,
+   seeding another island's population). *)
+let unshare t = { (copy t) with scratch_order = Array.make t.core_count 0 }
+
 let core_count t = t.core_count
 let table t = t.table
 let genes t core = t.cores.(core)

@@ -38,6 +38,13 @@ val compact_initial :
     a compact (replica-whole) random individual. *)
 
 val copy : t -> t
+
+val unshare : t -> t
+(** Like {!copy} but sharing no mutation scratch with the original:
+    required before handing a chromosome to another domain (e.g. island
+    migration).  {!copy} shares a scratch array that two domains must
+    not shuffle concurrently. *)
+
 val core_count : t -> int
 val table : t -> Partition.table
 val genes : t -> int -> gene list

@@ -22,6 +22,10 @@ type options = {
   seed : int;
   strategy : mapping_strategy;
   objective : Fitness.objective;
+  ga_islands : Genetic.island_params option;
+      (* Some -> run the GA as a domain-parallel island model; the
+         result only depends on (seed, islands, migration), never on
+         the domain count *)
 }
 
 let default_options =
@@ -35,6 +39,7 @@ let default_options =
     seed = 42;
     strategy = Genetic_algorithm Genetic.default_params;
     objective = Fitness.Minimize_time;
+    ga_islands = None;
   }
 
 type stage_seconds = {
@@ -94,9 +99,16 @@ let compile ?(options = default_options) (config : Pimhw.Config.t)
               | exception Chromosome.Infeasible _ -> []
             in
             let result =
-              Genetic.optimize ~params ~seeds ~objective:options.objective
-                ~mode:options.mode ~timing ~rng table ~core_count
-                ~max_node_num_in_core:options.max_node_num_in_core ()
+              match options.ga_islands with
+              | Some island ->
+                  Genetic.optimize_islands ~params ~island ~seeds
+                    ~objective:options.objective ~mode:options.mode ~timing
+                    ~rng table ~core_count
+                    ~max_node_num_in_core:options.max_node_num_in_core ()
+              | None ->
+                  Genetic.optimize ~params ~seeds ~objective:options.objective
+                    ~mode:options.mode ~timing ~rng table ~core_count
+                    ~max_node_num_in_core:options.max_node_num_in_core ()
             in
             (result.Genetic.best, Some result)
         | Random_search params ->

@@ -19,10 +19,15 @@ type options = {
   seed : int;
   strategy : mapping_strategy;
   objective : Fitness.objective;
+  ga_islands : Genetic.island_params option;
+      (** [Some] runs the GA as a domain-parallel island model
+          ({!Genetic.optimize_islands}); the mapping depends only on
+          (seed, islands, migration), never on the domain count. *)
 }
 
 val default_options : options
-(** HT mode, parallelism 20, AG-reuse, GA with the paper's parameters. *)
+(** HT mode, parallelism 20, AG-reuse, GA with the paper's parameters,
+    single-population GA. *)
 
 type stage_seconds = {
   partitioning : float;

@@ -809,6 +809,29 @@ module Inc = struct
          and child share them *)
     }
 
+  (* A fully independent copy: like [copy] but with fresh scratch
+     arrays, so the result can be handed to another domain (island
+     migration) without racing the source island's evaluations.  The
+     scratch carries nothing between evaluations (dirty flags are
+     all-false outside [update]), so fresh zeroed arrays are
+     equivalent — the carried fitness stays bit-identical. *)
+  let unshare st chrom =
+    let st = copy st chrom in
+    let graph_n = Array.length st.ll_start in
+    let n = Array.length st.seg_ags in
+    {
+      st with
+      ll_start = Array.make graph_n 0.0;
+      ll_eff = Array.make graph_n 0.0;
+      bank_scratch = Array.make (Array.length st.bank_scratch) 0.0;
+      core_dirty = Array.make st.ctx.core_count false;
+      scan_dirty = Array.make st.ctx.core_count false;
+      ll_dirty = Array.make graph_n false;
+      ll_dirty2 = Array.make graph_n false;
+      seg_ags = Array.make n 0;
+      seg_cyc = Array.make n 0;
+    }
+
   (* A mutation dirties the cores whose gene lists changed and every term
      of the nodes it moved.  A node refresh can change its cycle count or
      penalty, which feeds the busy time of *every* core holding it — so

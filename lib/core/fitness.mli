@@ -82,7 +82,14 @@ module Inc : sig
   val copy : t -> Chromosome.t -> t
   (** [copy t child] — caches for a copied chromosome about to be
       mutated.  [child] must be a {!Chromosome.copy} of [t]'s chromosome
-      (the caches are carried over, not recomputed). *)
+      (the caches are carried over, not recomputed).  Shares evaluation
+      scratch with [t]: both must stay on one domain. *)
+
+  val unshare : t -> Chromosome.t -> t
+  (** Like {!copy} but sharing nothing with [t], so the result can be
+      used from another domain (island migration).  [child] must be a
+      {!Chromosome.unshare} of [t]'s chromosome.  The carried fitness is
+      bit-identical — no re-evaluation happens. *)
 
   val update : t -> Chromosome.touched -> unit
   (** Refresh after the chromosome was mutated in place: re-derives the

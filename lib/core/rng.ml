@@ -41,6 +41,19 @@ let int t bound =
   in
   draw ()
 
+(* Split off a statistically independent child stream (splitmix-style).
+   The child's initial state folds two mixer outputs into one full-width
+   word ([bits] yields 62 bits; the shifted second draw fills the top),
+   so the child's draw sequence mix(child_state + k*gamma) shares no
+   state arithmetic with the parent's continuation — successive splits
+   are as unrelated as any two mixer outputs.  Deterministic: the same
+   parent state yields the same sequence of children, and splitting
+   advances the parent stream by exactly two draws. *)
+let split t =
+  let a = bits t in
+  let b = bits t in
+  { state = a lxor (b lsl 31) }
+
 let float t bound =
   let r = float_of_int (bits t lsr 9) in
   bound *. r /. 9007199254740992.0 (* 2^53 *)

@@ -7,6 +7,13 @@ type t
 val create : seed:int -> t
 val copy : t -> t
 
+val split : t -> t
+(** Split off a statistically independent child stream (splitmix-style):
+    the child is seeded from two fresh mixer outputs of the parent, so
+    its draws do not correlate with the parent's continuation or with
+    other children.  Advances the parent by exactly two draws; the
+    foundation of the island-model GA's per-island RNG streams. *)
+
 val bits : t -> int
 (** A uniform 62-bit non-negative draw. *)
 

@@ -3,60 +3,15 @@
    Design-space exploration (bench fig8/fig10/ablation, the CLI sweep
    command, COMPASS-style what-if studies) evaluates many independent
    (network x parallelism x mode x strategy) points, each a pure
-   compile-and-simulate closure.  This module fans those points out
-   across OCaml 5 domains with a shared atomic work counter and writes
-   each result into its input slot, so:
+   compile-and-simulate closure.  The fan-out machinery itself (atomic
+   work counter, slot-ordered results, exception propagation) lives in
+   the leaf library [Pimutil.Domain_pool] so the compiler's island-model
+   GA can share it; this module keeps the simulator-facing surface and
+   the [simulate] convenience. *)
 
-   - result ordering is deterministic: results.(i) always corresponds to
-     items.(i), whatever interleaving the domains ran in;
-   - the evaluations themselves must be deterministic (ours are: seeded
-     RNG, no wall-clock dependence), hence a parallel sweep returns
-     bit-identical results to a sequential one;
-   - an exception in any worker is re-raised (with its backtrace) in the
-     caller after all domains have been joined, never swallowed.
-
-   Workers must not share mutable state through their closures; callers
-   pre-populate caches (e.g. the bench graph table) before fanning out
-   so the closures only read. *)
-
-let default_domains () = max 1 (Domain.recommended_domain_count ())
-
-type 'b cell = Empty | Value of 'b | Raised of exn * Printexc.raw_backtrace
-
-let map ?domains f items =
-  let n = Array.length items in
-  let requested = match domains with Some d -> d | None -> default_domains () in
-  let d = max 1 (min requested n) in
-  if n = 0 then [||]
-  else if d = 1 then Array.map f items
-  else begin
-    let results = Array.make n Empty in
-    let next = Atomic.make 0 in
-    let worker () =
-      let continue = ref true in
-      while !continue do
-        let i = Atomic.fetch_and_add next 1 in
-        if i >= n then continue := false
-        else
-          results.(i) <-
-            (match f items.(i) with
-            | v -> Value v
-            | exception e -> Raised (e, Printexc.get_raw_backtrace ()))
-      done
-    in
-    let spawned = Array.init (d - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
-    Array.iter Domain.join spawned;
-    Array.map
-      (function
-        | Value v -> v
-        | Raised (e, bt) -> Printexc.raise_with_backtrace e bt
-        | Empty -> assert false)
-      results
-  end
-
-let map_list ?domains f items =
-  Array.to_list (map ?domains f (Array.of_list items))
+let default_domains = Pimutil.Domain_pool.default_domains
+let map = Pimutil.Domain_pool.map
+let map_list = Pimutil.Domain_pool.map_list
 
 (* Convenience for the most common sweep shape: simulate many compiled
    programs, one arena per point (arenas are not shared across domains —

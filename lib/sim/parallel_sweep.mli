@@ -9,7 +9,11 @@
     domains are joined.
 
     Closures must not share mutable state: pre-populate any cache before
-    fanning out. *)
+    fanning out.
+
+    The pool itself lives in {!Pimutil.Domain_pool} (a leaf library also
+    used by the compiler's island-model GA); [map] / [map_list] here are
+    aliases kept for the sweep-shaped callers. *)
 
 val default_domains : unit -> int
 (** [Domain.recommended_domain_count ()], at least 1. *)

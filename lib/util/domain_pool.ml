@@ -1,0 +1,59 @@
+(* Generic domain pool: fan independent (pure, deterministic) closures
+   out across OCaml 5 domains with a shared atomic work counter, writing
+   each result into its input slot.  Hoisted out of the simulator's
+   Parallel_sweep so both the compiler (island-model GA) and the
+   simulator (evaluation sweeps) can use it without depending on each
+   other; this library is a leaf — it must stay free of pimcomp/pimsim
+   dependencies.
+
+   Guarantees:
+
+   - result ordering is deterministic: results.(i) always corresponds to
+     items.(i), whatever interleaving the domains ran in;
+   - the evaluations themselves must be deterministic (seeded RNG, no
+     wall-clock dependence), hence a parallel run returns bit-identical
+     results to a sequential one;
+   - an exception in any worker is re-raised (with its backtrace) in the
+     caller after all domains have been joined, never swallowed.
+
+   Workers must not share mutable state through their closures; callers
+   pre-populate caches before fanning out so the closures only read. *)
+
+let default_domains () = max 1 (Domain.recommended_domain_count ())
+
+type 'b cell = Empty | Value of 'b | Raised of exn * Printexc.raw_backtrace
+
+let map ?domains f items =
+  let n = Array.length items in
+  let requested = match domains with Some d -> d | None -> default_domains () in
+  let d = max 1 (min requested n) in
+  if n = 0 then [||]
+  else if d = 1 then Array.map f items
+  else begin
+    let results = Array.make n Empty in
+    let next = Atomic.make 0 in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n then continue := false
+        else
+          results.(i) <-
+            (match f items.(i) with
+            | v -> Value v
+            | exception e -> Raised (e, Printexc.get_raw_backtrace ()))
+      done
+    in
+    let spawned = Array.init (d - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join spawned;
+    Array.map
+      (function
+        | Value v -> v
+        | Raised (e, bt) -> Printexc.raise_with_backtrace e bt
+        | Empty -> assert false)
+      results
+  end
+
+let map_list ?domains f items =
+  Array.to_list (map ?domains f (Array.of_list items))

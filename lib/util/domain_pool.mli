@@ -1,0 +1,23 @@
+(** Generic domain pool: fan independent (pure, deterministic) closures
+    out across OCaml 5 domains.
+
+    Ordering guarantee: [map f items] returns an array whose [i]-th
+    element is [f items.(i)] regardless of which domain evaluated it or
+    in which order — so a parallel run is bit-identical to a sequential
+    one whenever [f] itself is deterministic.  Exceptions raised by [f]
+    are re-raised in the caller (with backtrace) after all domains are
+    joined.
+
+    Closures must not share mutable state: pre-populate any cache before
+    fanning out.  This library is a leaf — usable from both [pimcomp]
+    and [pimsim] without coupling them. *)
+
+val default_domains : unit -> int
+(** [Domain.recommended_domain_count ()], at least 1. *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ~domains f items] evaluates [f] over [items] on up to [domains]
+    domains (default {!default_domains}; clamped to the item count).
+    [domains <= 1] degrades to a plain sequential [Array.map]. *)
+
+val map_list : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list

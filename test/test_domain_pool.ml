@@ -1,0 +1,75 @@
+(* Tests for the generic domain pool in the leaf library [Pimutil]:
+   slot-ordered results, sequential/parallel equivalence, and exception
+   propagation out of worker domains — the properties both the
+   simulator sweeps and the island-model GA rely on. *)
+
+let test_slot_ordering () =
+  let items = Array.init 137 (fun i -> i) in
+  let seq = Pimutil.Domain_pool.map ~domains:1 (fun i -> (i * i) + 1) items in
+  List.iter
+    (fun domains ->
+      let par =
+        Pimutil.Domain_pool.map ~domains (fun i -> (i * i) + 1) items
+      in
+      Alcotest.(check (array int))
+        (Fmt.str "%d domains, slot order" domains)
+        seq par)
+    [ 2; 3; 8 ]
+
+let test_domains_exceed_items () =
+  let r = Pimutil.Domain_pool.map ~domains:16 (fun i -> i + 1) [| 1; 2; 3 |] in
+  Alcotest.(check (array int)) "3 items on 16 domains" [| 2; 3; 4 |] r
+
+let test_empty_and_default () =
+  Alcotest.(check (array int))
+    "empty input" [||]
+    (Pimutil.Domain_pool.map ~domains:4 (fun i -> i) [||]);
+  Alcotest.(check bool) "default domain count >= 1" true
+    (Pimutil.Domain_pool.default_domains () >= 1)
+
+let test_map_list () =
+  Alcotest.(check (list int))
+    "list variant" [ 2; 4; 6 ]
+    (Pimutil.Domain_pool.map_list ~domains:2 (fun i -> 2 * i) [ 1; 2; 3 ])
+
+exception Boom of int
+
+(* A worker exception must reach the caller whatever domain raised it,
+   for every domain count — including the sequential degenerate case.
+   In a parallel run the pool joins every domain before re-raising, so
+   all items are still evaluated first (sequential [domains = 1] stops
+   at the raise, plain [Array.map] semantics). *)
+let test_exception_propagation () =
+  let items = Array.init 12 (fun i -> i) in
+  List.iter
+    (fun domains ->
+      let seen = Array.make 12 false in
+      (match
+         Pimutil.Domain_pool.map ~domains
+           (fun i ->
+             seen.(i) <- true;
+             if i = 7 then raise (Boom i) else i)
+           items
+       with
+      | _ -> Alcotest.fail "worker exception must reach the caller"
+      | exception Boom 7 -> ());
+      if domains > 1 then
+        Alcotest.(check bool)
+          (Fmt.str "%d domains: all items visited before the re-raise" domains)
+          true
+          (Array.for_all Fun.id seen))
+    [ 1; 2; 5 ]
+
+let () =
+  Alcotest.run "domain_pool"
+    [
+      ( "map",
+        [
+          Alcotest.test_case "slot ordering" `Quick test_slot_ordering;
+          Alcotest.test_case "domains > items" `Quick test_domains_exceed_items;
+          Alcotest.test_case "empty and default" `Quick test_empty_and_default;
+          Alcotest.test_case "map_list" `Quick test_map_list;
+          Alcotest.test_case "exception propagation" `Quick
+            test_exception_propagation;
+        ] );
+    ]

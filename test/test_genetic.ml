@@ -143,6 +143,251 @@ let test_ga_beats_random_search () =
     (ga.Pimcomp.Genetic.best_fitness
     <= rs.Pimcomp.Genetic.best_fitness *. 1.05)
 
+let test_random_search_history_curve () =
+  (* the ablation baseline must return a curve (running best per
+     population-sized chunk of the budget), not a single point *)
+  let table, cores = setup "tiny" 16 in
+  let timing = Pimhw.Timing.create ~parallelism:8 hw in
+  let r =
+    Pimcomp.Genetic.random_search ~params ~mode:Pimcomp.Mode.High_throughput
+      ~timing
+      ~rng:(Pimcomp.Rng.create ~seed:37)
+      table ~core_count:cores ~max_node_num_in_core:16 ()
+  in
+  Alcotest.(check int) "one history point per chunk"
+    (params.Pimcomp.Genetic.iterations + 1)
+    (List.length r.Pimcomp.Genetic.history);
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+        Alcotest.(check bool) "running best non-increasing" true (b <= a);
+        check rest
+    | _ -> ()
+  in
+  check r.Pimcomp.Genetic.history;
+  Alcotest.(check bool) "last point is the best" true
+    (List.nth r.Pimcomp.Genetic.history
+       (List.length r.Pimcomp.Genetic.history - 1)
+    = r.Pimcomp.Genetic.best_fitness);
+  Alcotest.(check bool) "first point is the initial best" true
+    (List.hd r.Pimcomp.Genetic.history
+    = r.Pimcomp.Genetic.initial_best_fitness)
+
+(* --- Rng.split ------------------------------------------------------------- *)
+
+let test_split_deterministic () =
+  let a = Pimcomp.Rng.create ~seed:99 in
+  let b = Pimcomp.Rng.create ~seed:99 in
+  let ca = Pimcomp.Rng.split a and cb = Pimcomp.Rng.split b in
+  for i = 0 to 63 do
+    Alcotest.(check int)
+      (Fmt.str "child draw %d" i)
+      (Pimcomp.Rng.bits ca) (Pimcomp.Rng.bits cb);
+    Alcotest.(check int)
+      (Fmt.str "parent continuation draw %d" i)
+      (Pimcomp.Rng.bits a) (Pimcomp.Rng.bits b)
+  done
+
+let pearson xs ys =
+  let n = float_of_int (Array.length xs) in
+  let mean a = Array.fold_left ( +. ) 0.0 a /. n in
+  let mx = mean xs and my = mean ys in
+  let sxy = ref 0.0 and sxx = ref 0.0 and syy = ref 0.0 in
+  Array.iteri
+    (fun i x ->
+      let dx = x -. mx and dy = ys.(i) -. my in
+      sxy := !sxy +. (dx *. dy);
+      sxx := !sxx +. (dx *. dx);
+      syy := !syy +. (dy *. dy))
+    xs;
+  !sxy /. sqrt (!sxx *. !syy)
+
+let test_split_independent () =
+  (* child streams must not correlate with the parent's draws (before or
+     after the split) nor with each other *)
+  let n = 4096 in
+  let draws rng = Array.init n (fun _ -> Pimcomp.Rng.float rng 1.0) in
+  List.iter
+    (fun seed ->
+      let parent = Pimcomp.Rng.create ~seed in
+      let pre = draws parent in
+      let child1 = Pimcomp.Rng.split parent in
+      let child2 = Pimcomp.Rng.split parent in
+      let post = draws parent in
+      let c1 = draws child1 and c2 = draws child2 in
+      let check label a b =
+        let r = pearson a b in
+        if Float.abs r > 0.05 then
+          Alcotest.failf "seed %d: |corr %s| = %.4f > 0.05" seed label r
+      in
+      check "child1 vs parent-pre" c1 pre;
+      check "child1 vs parent-post" c1 post;
+      check "child2 vs parent-post" c2 post;
+      check "child1 vs child2" c1 c2)
+    [ 1; 42; 12345 ]
+
+(* --- island model ----------------------------------------------------------- *)
+
+let island_optimize ?(island = Pimcomp.Genetic.default_island_params)
+    ?(params = params) ~seed ~mode table core_count =
+  let timing = Pimhw.Timing.create ~parallelism:8 hw in
+  let rng = Pimcomp.Rng.create ~seed in
+  Pimcomp.Genetic.optimize_islands ~params ~island ~mode ~timing ~rng table
+    ~core_count ~max_node_num_in_core:16 ()
+
+(* Satellite smoke for `dune runtest`: the parallel path (2 islands on
+   however many domains the host recommends) runs on every tier-1
+   invocation, not just in bench. *)
+let test_island_smoke () =
+  let table, cores = setup "tiny" 16 in
+  let island =
+    {
+      Pimcomp.Genetic.islands = 2;
+      migration_interval = 5;
+      migration_size = 1;
+      domains = None;
+    }
+  in
+  List.iter
+    (fun mode ->
+      let r =
+        island_optimize ~island ~params:Pimcomp.Genetic.fast_params ~seed:3
+          ~mode table cores
+      in
+      Alcotest.(check bool) "best is valid" true
+        (Pimcomp.Chromosome.is_valid r.Pimcomp.Genetic.best);
+      Alcotest.(check bool) "best <= initial" true
+        (r.Pimcomp.Genetic.best_fitness
+        <= r.Pimcomp.Genetic.initial_best_fitness);
+      Alcotest.(check int) "history length"
+        (r.Pimcomp.Genetic.generations_run + 1)
+        (List.length r.Pimcomp.Genetic.history);
+      let rec monotone = function
+        | a :: (b :: _ as rest) ->
+            Alcotest.(check bool) "global best non-increasing" true (b <= a);
+            monotone rest
+        | _ -> ()
+      in
+      monotone r.Pimcomp.Genetic.history;
+      Alcotest.(check bool) "failed mutations non-negative" true
+        (r.Pimcomp.Genetic.failed_mutations >= 0))
+    Pimcomp.Mode.all
+
+(* Ring-migration bookkeeping: the sub-population layout at island
+   counts 1 and 2, populations that don't divide evenly, and the clamp
+   that keeps every island at >= 2 individuals. *)
+let test_island_layout () =
+  let layout ~population islands =
+    Pimcomp.Genetic.island_layout ~population
+      { Pimcomp.Genetic.default_island_params with islands }
+  in
+  Alcotest.(check (array int)) "one island" [| 24 |] (layout ~population:24 1);
+  Alcotest.(check (array int)) "two islands, even" [| 12; 12 |]
+    (layout ~population:24 2);
+  Alcotest.(check (array int)) "two islands, odd" [| 4; 3 |]
+    (layout ~population:7 2);
+  Alcotest.(check (array int)) "uneven split" [| 3; 2; 2 |]
+    (layout ~population:7 3);
+  Alcotest.(check (array int)) "clamped to population/2" [| 3; 2 |]
+    (layout ~population:5 8);
+  Alcotest.(check (array int)) "paper default" [| 25; 25; 25; 25 |]
+    (layout ~population:100 4);
+  (* every layout sums to the population with sizes within one of each
+     other and >= 2 *)
+  List.iter
+    (fun (population, islands) ->
+      let l = layout ~population islands in
+      Alcotest.(check int)
+        (Fmt.str "pop %d x %d islands sums" population islands)
+        population
+        (Array.fold_left ( + ) 0 l);
+      let mx = Array.fold_left max 0 l and mn = Array.fold_left min max_int l in
+      Alcotest.(check bool) "sizes within one" true (mx - mn <= 1);
+      Alcotest.(check bool) "each island >= 2" true (mn >= 2))
+    [ (2, 1); (5, 2); (7, 3); (11, 4); (100, 7); (9, 100) ]
+
+(* An island run with migrations must not lose to the same islands
+   without migration ever exchanging anything worse than the local
+   worst: population sizes are preserved and the result is valid. *)
+let test_island_uneven_population () =
+  let table, cores = setup "tiny" 16 in
+  let island =
+    {
+      Pimcomp.Genetic.islands = 3;
+      migration_interval = 3;
+      migration_size = 2;  (* clamped to min sub-population - 1 *)
+      domains = Some 2;
+    }
+  in
+  let params = { params with Pimcomp.Genetic.population = 7; iterations = 12 } in
+  let r =
+    island_optimize ~island ~params ~seed:5 ~mode:Pimcomp.Mode.High_throughput
+      table cores
+  in
+  Alcotest.(check bool) "valid best" true
+    (Pimcomp.Chromosome.is_valid r.Pimcomp.Genetic.best);
+  Alcotest.(check int) "all generations run" 12
+    r.Pimcomp.Genetic.generations_run
+
+(* The tentpole determinism claim, as a qcheck property: for any seed,
+   the island GA returns a bit-identical best fitness and history
+   whether the islands run on 1 domain or fanned out — in both modes.
+   [default_domains] is included so the host's real recommendation is
+   exercised, plus a forced 4 so multi-domain runs happen even on
+   single-core CI hosts. *)
+let island_domain_independence =
+  QCheck.Test.make ~name:"island GA independent of domain count" ~count:6
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let table, cores = setup "tiny" 16 in
+      let params =
+        { Pimcomp.Genetic.fast_params with population = 12; iterations = 10 }
+      in
+      let run mode domains =
+        let island =
+          {
+            Pimcomp.Genetic.islands = 3;
+            migration_interval = 4;
+            migration_size = 1;
+            domains = Some domains;
+          }
+        in
+        island_optimize ~island ~params ~seed ~mode table cores
+      in
+      List.for_all
+        (fun mode ->
+          let base = run mode 1 in
+          List.for_all
+            (fun domains ->
+              let r = run mode domains in
+              r.Pimcomp.Genetic.best_fitness
+              = base.Pimcomp.Genetic.best_fitness
+              && r.Pimcomp.Genetic.history = base.Pimcomp.Genetic.history
+              && r.Pimcomp.Genetic.evaluations
+                 = base.Pimcomp.Genetic.evaluations)
+            [ Pimutil.Domain_pool.default_domains (); 4 ])
+        Pimcomp.Mode.all)
+
+(* At an equal evaluation budget the island model should not lose badly
+   to the single population (it usually wins; allow slack for the
+   different RNG streams on this tiny problem). *)
+let test_island_competitive () =
+  let table, cores = setup "tiny" 16 in
+  let single = optimize ~seed:41 ~mode:Pimcomp.Mode.High_throughput table cores in
+  let island =
+    island_optimize
+      ~island:
+        {
+          Pimcomp.Genetic.islands = 2;
+          migration_interval = 5;
+          migration_size = 2;
+          domains = None;
+        }
+      ~seed:41 ~mode:Pimcomp.Mode.High_throughput table cores
+  in
+  Alcotest.(check bool) "island <= single * 1.1" true
+    (island.Pimcomp.Genetic.best_fitness
+    <= single.Pimcomp.Genetic.best_fitness *. 1.1)
+
 let () =
   Alcotest.run "genetic"
     [
@@ -160,5 +405,23 @@ let () =
           Alcotest.test_case "patience" `Quick test_patience_stops_early;
           Alcotest.test_case "beats random search" `Quick
             test_ga_beats_random_search;
+          Alcotest.test_case "random-search history curve" `Quick
+            test_random_search_history_curve;
+        ] );
+      ( "rng-split",
+        [
+          Alcotest.test_case "deterministic" `Quick test_split_deterministic;
+          Alcotest.test_case "independent streams" `Quick
+            test_split_independent;
+        ] );
+      ( "islands",
+        [
+          Alcotest.test_case "smoke (2 islands)" `Quick test_island_smoke;
+          Alcotest.test_case "layout bookkeeping" `Quick test_island_layout;
+          Alcotest.test_case "uneven population" `Quick
+            test_island_uneven_population;
+          QCheck_alcotest.to_alcotest island_domain_independence;
+          Alcotest.test_case "competitive with single population" `Quick
+            test_island_competitive;
         ] );
     ]
