@@ -16,6 +16,8 @@
               (writes BENCH_GA.json)
      sim      flat-arena engine vs the reference interpreter, and
               sequential vs domain-parallel sweep (writes BENCH_SIM.json)
+     verify   static program verifier overhead vs compile time
+              (writes BENCH_VERIFY.json)
      micro    Bechamel micro-benchmarks of the compiler stages
 
    The sweep sections (fig8, fig10, ablation, sim) fan their evaluation
@@ -788,6 +790,141 @@ let sim () =
   close_out oc;
   Fmt.pr "wrote BENCH_SIM.json@."
 
+(* --- verifier overhead --------------------------------------------------------- *)
+
+(* Measures the static program verifier (Pimcomp.Verify) against the
+   compile pipeline it guards: full-zoo GA compiles in both modes with
+   the verifier enabled, using the same paper GA parameters as Table II
+   (population 100, patience 60) — the compile time the paper reports —
+   and recording the stamped verification stage time plus a standalone
+   best-of-N Verify.run timing per program.  The acceptance bar is that
+   verification stays under 5% of compile time; the JSON also records
+   the share against a PUMA-like heuristic compile — the cheapest
+   possible pipeline, so the verifier's worst case.  Results land in
+   BENCH_VERIFY.json; PIMCOMP_SIM_TINY=1 shrinks the run to the tiny
+   network for the `dune runtest` smoke invocation. *)
+let verify_bench () =
+  let tiny = Sys.getenv_opt "PIMCOMP_SIM_TINY" <> None in
+  let nets =
+    if tiny then [ ("tiny", Nnir.Zoo.min_input_size "tiny") ] else networks
+  in
+  let reps = if tiny then 3 else 5 in
+  let mapping =
+    if tiny then ga
+    else
+      Pimcomp.Compile.Genetic_algorithm
+        { Pimcomp.Genetic.default_params with patience = Some 60 }
+  in
+  Fmt.pr
+    "Static verifier overhead: Table II GA compiles with --verify across@.\
+     the zoo; stamped stage time vs a standalone best-of-%d Verify.run.@.@."
+    reps;
+  Fmt.pr "%-14s %-4s | %8s %10s %10s | %9s %8s@." "network" "mode" "instrs"
+    "compile s" "verify s" "re-run s" "share";
+  let rows =
+    List.concat_map
+      (fun net ->
+        List.map
+          (fun mode ->
+            let options strategy =
+              {
+                Pimcomp.Compile.default_options with
+                mode;
+                parallelism = 20;
+                strategy;
+              }
+            in
+            let g = graph_of net in
+            let r = Pimcomp.Compile.compile ~options:(options mapping) hw g in
+            let r_puma =
+              Pimcomp.Compile.compile ~options:(options puma) hw g
+            in
+            let program = r.Pimcomp.Compile.program in
+            let instrs =
+              Array.fold_left
+                (fun acc c -> acc + Array.length c)
+                0 program.Pimcomp.Isa.cores
+            in
+            (match Pimcomp.Verify.run ~graph:g ~config:hw program with
+            | [] -> ()
+            | vs ->
+                Fmt.failwith "%s %a failed verification: %a" (fst net)
+                  Pimcomp.Mode.pp mode Pimcomp.Verify.report vs);
+            let standalone = ref infinity in
+            for _ = 1 to reps do
+              let t0 = Unix.gettimeofday () in
+              ignore
+                (Sys.opaque_identity
+                   (Pimcomp.Verify.run ~graph:g ~config:hw program));
+              let dt = Unix.gettimeofday () -. t0 in
+              if dt < !standalone then standalone := dt
+            done;
+            let s = r.Pimcomp.Compile.stage_seconds in
+            let sp = r_puma.Pimcomp.Compile.stage_seconds in
+            let share =
+              s.Pimcomp.Compile.verification /. Float.max 1e-9 s.Pimcomp.Compile.total
+            in
+            Fmt.pr "%-14s %-4s | %8d %10.4f %10.4f | %9.4f %7.2f%%@."
+              (fst net)
+              (Pimcomp.Mode.to_string mode)
+              instrs s.Pimcomp.Compile.total s.Pimcomp.Compile.verification
+              !standalone (share *. 100.0);
+            (net, mode, instrs, s.Pimcomp.Compile.total,
+             s.Pimcomp.Compile.verification, !standalone,
+             sp.Pimcomp.Compile.total, sp.Pimcomp.Compile.verification))
+          Pimcomp.Mode.all)
+      nets
+  in
+  let total_compile =
+    List.fold_left (fun acc (_, _, _, t, _, _, _, _) -> acc +. t) 0.0 rows
+  in
+  let total_verify =
+    List.fold_left (fun acc (_, _, _, _, v, _, _, _) -> acc +. v) 0.0 rows
+  in
+  let puma_compile =
+    List.fold_left (fun acc (_, _, _, _, _, _, t, _) -> acc +. t) 0.0 rows
+  in
+  let puma_verify =
+    List.fold_left (fun acc (_, _, _, _, _, _, _, v) -> acc +. v) 0.0 rows
+  in
+  let overall = total_verify /. Float.max 1e-9 total_compile in
+  let puma_share = puma_verify /. Float.max 1e-9 puma_compile in
+  Fmt.pr
+    "@.zoo total: compile %.3f s, verification %.3f s (%.2f%% of compile, \
+     bar: < 5%%)@.heuristic floor: PUMA-like compile %.3f s, verification \
+     %.2f%% of it@."
+    total_compile total_verify (overall *. 100.0) puma_compile
+    (puma_share *. 100.0);
+  let oc = open_out "BENCH_VERIFY.json" in
+  let json = Format.formatter_of_out_channel oc in
+  Format.fprintf json "{@.  \"tiny\": %b,@.  \"programs\": [@." tiny;
+  List.iteri
+    (fun i
+         (net, mode, instrs, compile_s, verify_s, standalone_s, puma_s,
+          puma_verify_s) ->
+      Format.fprintf json
+        "    { \"network\": %S, \"mode\": %S, \"instructions\": %d,@.      \
+         \"compile_seconds\": %.6f, \"verify_seconds\": %.6f, \
+         \"standalone_verify_seconds\": %.6f,@.      \"verify_share\": %.4f, \
+         \"puma_compile_seconds\": %.6f, \"puma_verify_seconds\": %.6f,@.      \
+         \"violations\": 0 }%s@."
+        (fst net)
+        (Pimcomp.Mode.to_string mode)
+        instrs compile_s verify_s standalone_s
+        (verify_s /. Float.max 1e-9 compile_s)
+        puma_s puma_verify_s
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Format.fprintf json
+    "  ],@.  \"total_compile_seconds\": %.6f,@.  \
+     \"total_verify_seconds\": %.6f,@.  \"overall_verify_share\": %.4f,@.  \
+     \"puma_compile_seconds\": %.6f,@.  \"puma_verify_share\": %.4f,@.  \
+     \"under_5_percent\": %b@.}@."
+    total_compile total_verify overall puma_compile puma_share
+    (overall < 0.05);
+  close_out oc;
+  Fmt.pr "wrote BENCH_VERIFY.json@."
+
 (* --- Bechamel micro-benchmarks ------------------------------------------------ *)
 
 let micro () =
@@ -857,6 +994,7 @@ let sections : (string * (unit -> unit)) list =
     ("ablation", ablation);
     ("ga", ga_throughput);
     ("sim", sim);
+    ("verify", verify_bench);
     ("batch", batch);
     ("micro", micro);
   ]

@@ -6,6 +6,7 @@
      pimcomp compile vgg16 --mode LL ...       compile and report
      pimcomp simulate vgg16 --mode HT ...      compile + cycle-accurate sim
      pimcomp sweep resnet18 -P 4,8,16,32 ...   parallelism sweep over domains
+     pimcomp verify alexnet --mode LL          static program verification
      pimcomp export squeezenet --format dot    emit .nnt / .dot
 
    Networks can be zoo names or paths to .nnt files (the textual model
@@ -113,6 +114,20 @@ let objective_arg =
   let doc = "GA objective: time or edp (energy-delay product)." in
   Arg.(value & opt string "time" & info [ "objective" ] ~doc)
 
+let verify_flag_arg =
+  let on =
+    Arg.info [ "verify" ]
+      ~doc:
+        "Statically verify the compiled program (dependency shape, \
+         send/recv rendezvous, memory accounting) before reporting.  On \
+         by default."
+  in
+  let off =
+    Arg.info [ "no-verify" ]
+      ~doc:"Skip the static program verifier after scheduling."
+  in
+  Arg.(value & vflag true [ (true, on); (false, off) ])
+
 let emit_isa_arg =
   let doc = "Write the compiled instruction stream (ISA dump) to a file." in
   Arg.(value & opt (some string) None & info [ "emit-isa" ] ~doc)
@@ -186,8 +201,8 @@ let objective_of_string = function
   | "edp" | "energy-delay" -> Pimcomp.Fitness.Minimize_energy_delay
   | s -> raise (Invalid_argument (Fmt.str "unknown objective %S" s))
 
-let build_options ?ga_islands ~mode ~parallelism ~cores ~allocator ~strategy
-    ~seed ~objective () =
+let build_options ?ga_islands ?(verify = true) ~mode ~parallelism ~cores
+    ~allocator ~strategy ~seed ~objective () =
   {
     Pimcomp.Compile.default_options with
     mode;
@@ -198,6 +213,7 @@ let build_options ?ga_islands ~mode ~parallelism ~cores ~allocator ~strategy
     strategy;
     objective;
     ga_islands;
+    verify;
   }
 
 let wrap f = try Ok (f ()) with
@@ -238,7 +254,7 @@ let table1_cmd =
 let compile_term simulate =
   let run network input_size mode parallelism cores allocator strategy seed
       generations fast ga_islands ga_migration verbose simplify objective
-      emit_isa emit_trace =
+      verify emit_isa emit_trace =
     wrap (fun () ->
         let graph = load_network network input_size in
         let graph =
@@ -254,7 +270,7 @@ let compile_term simulate =
         let options =
           build_options
             ?ga_islands:(islands_of_flags ga_islands ga_migration)
-            ~mode ~parallelism ~cores ~allocator
+            ~verify ~mode ~parallelism ~cores ~allocator
             ~strategy:(strategy_of_flags strategy fast generations seed)
             ~seed
             ~objective:(objective_of_string objective)
@@ -300,7 +316,8 @@ let compile_term simulate =
       (const run $ network_arg $ input_size_arg $ mode_arg $ parallelism_arg
      $ cores_arg $ allocator_arg $ strategy_arg $ seed_arg $ generations_arg
      $ fast_arg $ ga_islands_arg $ ga_migration_arg $ verbose_arg
-     $ simplify_arg $ objective_arg $ emit_isa_arg $ emit_trace_arg))
+     $ simplify_arg $ objective_arg $ verify_flag_arg $ emit_isa_arg
+     $ emit_trace_arg))
 
 let compile_cmd =
   Cmd.v
@@ -385,6 +402,54 @@ let sweep_cmd =
        $ generations_arg $ fast_arg $ allocator_arg $ domains_arg
        $ parallelisms_arg))
 
+let verify_cmd =
+  let run target input_size mode allocator strategy seed generations fast =
+    wrap (fun () ->
+        let hw = Pimhw.Config.puma_like in
+        let program, graph =
+          if Sys.file_exists target && Filename.check_suffix target ".isa"
+          then (Pimcomp.Isa_text.of_file target, None)
+          else begin
+            let graph = load_network target input_size in
+            let options =
+              build_options ~verify:false ~mode ~parallelism:8 ~cores:None
+                ~allocator
+                ~strategy:(strategy_of_flags strategy fast generations seed)
+                ~seed ~objective:Pimcomp.Fitness.Minimize_time ()
+            in
+            let r = Pimcomp.Compile.compile ~options hw graph in
+            (r.Pimcomp.Compile.program, Some graph)
+          end
+        in
+        match Pimcomp.Verify.run ?graph ~config:hw program with
+        | [] ->
+            Fmt.pr "verified: %d cores, %d instructions, no violations@."
+              program.Pimcomp.Isa.core_count
+              (Array.fold_left
+                 (fun acc c -> acc + Array.length c)
+                 0 program.Pimcomp.Isa.cores)
+        | violations ->
+            Fmt.epr "%a@." Pimcomp.Verify.report violations;
+            raise
+              (Invalid_argument
+                 (Fmt.str "%d violation(s)" (List.length violations))))
+  in
+  let target_arg =
+    let doc = "Zoo network name, .nnt model file, or compiled .isa dump." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"TARGET" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Statically verify a compiled program: structural \
+          well-formedness, send/recv rendezvous soundness and \
+          deadlock-freedom, and memory accounting.  Compiles TARGET \
+          first unless it is an .isa dump.")
+    Term.(
+      term_result
+        (const run $ target_arg $ input_size_arg $ mode_arg $ allocator_arg
+       $ strategy_arg $ seed_arg $ generations_arg $ fast_arg))
+
 let export_cmd =
   let format_arg =
     let doc = "Output format: nnt (textual model) or dot (Graphviz)." in
@@ -422,7 +487,7 @@ let main_cmd =
     (Cmd.info "pimcomp" ~version:"1.0.0" ~doc)
     [
       networks_cmd; table1_cmd; compile_cmd; simulate_cmd; sweep_cmd;
-      export_cmd;
+      verify_cmd; export_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

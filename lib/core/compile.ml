@@ -26,6 +26,11 @@ type options = {
       (* Some -> run the GA as a domain-parallel island model; the
          result only depends on (seed, islands, migration), never on
          the domain count *)
+  verify : bool;
+      (* statically verify the compiled program (Verify.run) before
+         returning it; on by default — the pass costs a small fraction
+         of a compile and turns backend bugs into diagnostics instead
+         of simulator crashes or silently wrong metrics *)
 }
 
 let default_options =
@@ -40,12 +45,14 @@ let default_options =
     strategy = Genetic_algorithm Genetic.default_params;
     objective = Fitness.Minimize_time;
     ga_islands = None;
+    verify = true;
   }
 
 type stage_seconds = {
   partitioning : float;
   replicating_mapping : float;
   scheduling : float;
+  verification : float;  (* 0 when verification is disabled *)
   total : float;
   total_cpu : float;
 }
@@ -156,9 +163,17 @@ let compile ?(options = default_options) (config : Pimhw.Config.t)
         in
         (layout, program))
   in
-  (match Isa.check program with
-  | [] -> ()
-  | e :: _ -> invalid_arg (Fmt.str "Compile: malformed program: %s" e));
+  (* stage 4: static verification of the compiled stream *)
+  let (), verification =
+    timed (fun () ->
+        if options.verify then
+          match Verify.run ~graph ~config program with
+          | [] -> ()
+          | vs ->
+              invalid_arg
+                (Fmt.str "Compile: %s: %a" (Nnir.Graph.name graph)
+                   Verify.report vs))
+  in
   {
     graph;
     config;
@@ -175,7 +190,9 @@ let compile ?(options = default_options) (config : Pimhw.Config.t)
         partitioning;
         replicating_mapping;
         scheduling;
-        total = partitioning +. replicating_mapping +. scheduling;
+        verification;
+        total = partitioning +. replicating_mapping +. scheduling
+                +. verification;
         total_cpu = Sys.time () -. cpu0;
       };
   }

@@ -23,16 +23,21 @@ type options = {
       (** [Some] runs the GA as a domain-parallel island model
           ({!Genetic.optimize_islands}); the mapping depends only on
           (seed, islands, migration), never on the domain count. *)
+  verify : bool;
+      (** Run {!Verify.run} on the compiled program and raise on any
+          violation.  On by default; the pass is a small fraction of a
+          compile. *)
 }
 
 val default_options : options
 (** HT mode, parallelism 20, AG-reuse, GA with the paper's parameters,
-    single-population GA. *)
+    single-population GA, verification on. *)
 
 type stage_seconds = {
   partitioning : float;
   replicating_mapping : float;
   scheduling : float;
+  verification : float;  (** 0 when [options.verify] is false *)
   total : float;  (** sum of the per-stage wall-clock times *)
   total_cpu : float;  (** CPU seconds over the whole compilation *)
 }

@@ -57,6 +57,16 @@ type memory_report = {
   global_store_bytes : int;
 }
 
+(* The local-memory allocation stream the schedulers issued while
+   emitting the program.  Stamped into the program so that a verifier
+   (or any later tool) can replay it through a fresh [Memalloc] and
+   recompute the memory report independently of the scheduler that
+   produced it. *)
+type mem_event =
+  | Alloc of { core : int; bytes : int; request : Memalloc.request }
+  | Free of { core : int; bytes : int }
+  | Free_accumulator of { core : int; key : int }
+
 type t = {
   graph_name : string;
   mode : Mode.t;
@@ -71,6 +81,7 @@ type t = {
      interval (the makespan of the compiled stream). *)
   pipeline_depth : int;
   memory : memory_report;
+  mem_trace : mem_event array;
 }
 
 let num_instrs t =
@@ -106,56 +117,13 @@ let pp_instr ppf i =
     Fmt.(brackets (list ~sep:comma int))
     i.deps i.node_id
 
-(* Structural sanity of a program: dependency indices in range and
-   strictly smaller than the instruction's own index, SEND/RECV tags in
-   matching pairs with consistent endpoints and sizes. *)
-type check_error = string
-
-let check t : check_error list =
-  let errors = ref [] in
-  let err fmt = Fmt.kstr (fun s -> errors := s :: !errors) fmt in
-  let sends = Hashtbl.create 256 and recvs = Hashtbl.create 256 in
-  Array.iteri
-    (fun core instrs ->
-      Array.iteri
-        (fun idx i ->
-          List.iter
-            (fun d ->
-              if d < 0 || d >= idx then
-                err "core %d instr %d: dep %d out of range" core idx d)
-            i.deps;
-          match i.op with
-          | Send s ->
-              if s.dst < 0 || s.dst >= t.core_count then
-                err "core %d instr %d: send to invalid core %d" core idx s.dst;
-              if Hashtbl.mem sends s.tag then
-                err "duplicate send tag %d" s.tag
-              else Hashtbl.add sends s.tag (core, s.dst, s.bytes)
-          | Recv r ->
-              if Hashtbl.mem recvs r.tag then
-                err "duplicate recv tag %d" r.tag
-              else Hashtbl.add recvs r.tag (r.src, core, r.bytes)
-          | Mvm m ->
-              if m.ag < 0 || m.ag >= Array.length t.ag_core then
-                err "core %d instr %d: invalid AG %d" core idx m.ag
-              else if t.ag_core.(m.ag) <> core then
-                err "core %d instr %d: AG %d belongs to core %d" core idx m.ag
-                  t.ag_core.(m.ag)
-          | Vec _ | Load _ | Store _ -> ())
-        instrs)
-    t.cores;
-  Hashtbl.iter
-    (fun tag (src, dst, bytes) ->
-      match Hashtbl.find_opt recvs tag with
-      | None -> err "send tag %d has no recv" tag
-      | Some (rsrc, rdst, rbytes) ->
-          if rsrc <> src || rdst <> dst then
-            err "tag %d endpoints mismatch: send %d->%d, recv %d->%d" tag src
-              dst rsrc rdst;
-          if rbytes <> bytes then err "tag %d size mismatch" tag)
-    sends;
-  Hashtbl.iter
-    (fun tag _ ->
-      if not (Hashtbl.mem sends tag) then err "recv tag %d has no send" tag)
-    recvs;
-  List.rev !errors
+let pp_mem_event ppf = function
+  | Alloc { core; bytes; request = Memalloc.Fresh } ->
+      Fmt.pf ppf "ALLOC core=%d %dB fresh" core bytes
+  | Alloc { core; bytes; request = Memalloc.Accumulator key } ->
+      Fmt.pf ppf "ALLOC core=%d %dB acc key=%d" core bytes key
+  | Alloc { core; bytes; request = Memalloc.Ag_slot key } ->
+      Fmt.pf ppf "ALLOC core=%d %dB ag key=%d" core bytes key
+  | Free { core; bytes } -> Fmt.pf ppf "FREE core=%d %dB" core bytes
+  | Free_accumulator { core; key } ->
+      Fmt.pf ppf "FREEACC core=%d key=%d" core key

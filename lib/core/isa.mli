@@ -42,6 +42,15 @@ type memory_report = {
   global_store_bytes : int;
 }
 
+(** The local-memory allocation stream issued while the program was
+    scheduled, in emission order.  Replaying it through a fresh
+    {!Memalloc} must reproduce [memory] exactly — this is what
+    {!Verify} checks. *)
+type mem_event =
+  | Alloc of { core : int; bytes : int; request : Memalloc.request }
+  | Free of { core : int; bytes : int }
+  | Free_accumulator of { core : int; key : int }
+
 type t = {
   graph_name : string;
   mode : Mode.t;
@@ -53,6 +62,7 @@ type t = {
   num_tags : int;
   pipeline_depth : int;
   memory : memory_report;
+  mem_trace : mem_event array;
 }
 
 val num_instrs : t -> int
@@ -61,10 +71,8 @@ val total_mvm_windows : t -> int
 
 val pp_op : op Fmt.t
 val pp_instr : instr Fmt.t
+val pp_mem_event : mem_event Fmt.t
 
-type check_error = string
-
-val check : t -> check_error list
-(** Structural sanity: dependency indices in range and backward-only,
-    SEND/RECV tags paired with consistent endpoints and sizes, AGs on
-    their owning cores.  Empty list means well-formed. *)
+(** Static well-formedness checking lives in {!Verify}: structural
+    shape, rendezvous soundness and memory-report replay are all
+    verified there, by one shared checker. *)

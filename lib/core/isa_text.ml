@@ -6,6 +6,9 @@
 
      program <name> mode=HT allocator=AG-reuse cores=4 tags=7 depth=3
      memory spill=0 gload=1024 gstore=512 peaks=100,0,20,0
+     trace alloc core=0 bytes=128 req=fresh      (also req=acc:K, req=ag:K)
+     trace free core=0 bytes=128
+     trace freeacc core=0 key=3
      ag <id> core=<c> xbars=<n>
      core <c>
        <idx>: MVM ag=5 w=2 xb=2 in=64 out=128 deps=1,2 node=7
@@ -54,6 +57,21 @@ let to_string (t : Isa.t) =
     (String.concat ","
        (Array.to_list
           (Array.map string_of_int t.Isa.memory.Isa.local_peak_bytes)));
+  Array.iter
+    (fun (ev : Isa.mem_event) ->
+      match ev with
+      | Isa.Alloc { core; bytes; request } ->
+          let req =
+            match request with
+            | Memalloc.Fresh -> "fresh"
+            | Memalloc.Accumulator k -> Fmt.str "acc:%d" k
+            | Memalloc.Ag_slot k -> Fmt.str "ag:%d" k
+          in
+          add "trace alloc core=%d bytes=%d req=%s" core bytes req
+      | Isa.Free { core; bytes } -> add "trace free core=%d bytes=%d" core bytes
+      | Isa.Free_accumulator { core; key } ->
+          add "trace freeacc core=%d key=%d" core key)
+    t.Isa.mem_trace;
   Array.iteri
     (fun ag core -> add "ag %d core=%d xbars=%d" ag core t.Isa.ag_xbars.(ag))
     t.Isa.ag_core;
@@ -112,6 +130,7 @@ let of_string text =
   let header = ref None in
   let memory = ref None in
   let ags = ref [] in
+  let rev_trace = ref [] in
   let cores : (int, Isa.instr list ref) Hashtbl.t = Hashtbl.create 64 in
   let current_core = ref None in
   List.iteri
@@ -150,22 +169,77 @@ let of_string text =
                     parse_int line "gstore" (field line f "gstore");
                   local_peak_bytes = peaks;
                 }
+        | "trace" :: what :: rest ->
+            let f = fields_of rest in
+            let core = parse_int line "core" (field line f "core") in
+            let ev =
+              match what with
+              | "alloc" ->
+                  let request =
+                    match field line f "req" with
+                    | "fresh" -> Memalloc.Fresh
+                    | s -> (
+                        match String.index_opt s ':' with
+                        | Some i ->
+                            let k =
+                              parse_int line "request key"
+                                (String.sub s (i + 1) (String.length s - i - 1))
+                            in
+                            let prefix = String.sub s 0 i in
+                            if prefix = "acc" then Memalloc.Accumulator k
+                            else if prefix = "ag" then Memalloc.Ag_slot k
+                            else errf line "unknown allocation request %S" s
+                        | None -> errf line "unknown allocation request %S" s)
+                  in
+                  Isa.Alloc
+                    {
+                      core;
+                      bytes = parse_int line "bytes" (field line f "bytes");
+                      request;
+                    }
+              | "free" ->
+                  Isa.Free
+                    {
+                      core;
+                      bytes = parse_int line "bytes" (field line f "bytes");
+                    }
+              | "freeacc" ->
+                  Isa.Free_accumulator
+                    { core; key = parse_int line "key" (field line f "key") }
+              | s -> errf line "unknown trace event %S" s
+            in
+            rev_trace := ev :: !rev_trace
         | [ "ag"; id; core_kv; xbars_kv ] ->
             let f = fields_of [ core_kv; xbars_kv ] in
+            let id = parse_int line "ag id" id in
+            if List.exists (fun (i, _, _) -> i = id) !ags then
+              errf line "duplicate AG id %d" id;
             ags :=
-              ( parse_int line "ag id" id,
+              ( id,
                 parse_int line "core" (field line f "core"),
                 parse_int line "xbars" (field line f "xbars") )
               :: !ags
         | [ "core"; c ] ->
             let c = parse_int line "core id" c in
-            if not (Hashtbl.mem cores c) then Hashtbl.add cores c (ref []);
+            if Hashtbl.mem cores c then errf line "duplicate core %d" c;
+            Hashtbl.add cores c (ref []);
             current_core := Some c
         | idx_colon :: kind :: rest -> (
             match !current_core with
             | None -> errf line "instruction before any core header"
             | Some c ->
-                ignore idx_colon;
+                (* the index prefix is redundant but must agree with the
+                   instruction's position, else deps silently rebind *)
+                let expected = List.length !(Hashtbl.find cores c) in
+                let idx_str =
+                  match String.index_opt idx_colon ':' with
+                  | Some i -> String.sub idx_colon 0 i
+                  | None -> errf line "instruction index missing ':'"
+                in
+                let idx = parse_int line "instruction index" idx_str in
+                if idx <> expected then
+                  errf line "instruction index %d but core %d has %d so far"
+                    idx c expected;
                 let f = fields_of rest in
                 let deps = parse_deps line (field line f "deps") in
                 let node_id = parse_int line "node" (field line f "node") in
@@ -254,6 +328,17 @@ let of_string text =
       ag_core.(id) <- core;
       ag_xbars.(id) <- xbars)
     ags;
+  Hashtbl.iter
+    (fun c _ ->
+      if c < 0 || c >= core_count then
+        raise
+          (Parse_error
+             {
+               line = 0;
+               message =
+                 Fmt.str "core %d outside the program's %d cores" c core_count;
+             }))
+    cores;
   let core_arrays =
     Array.init core_count (fun c ->
         match Hashtbl.find_opt cores c with
@@ -271,6 +356,7 @@ let of_string text =
     num_tags;
     pipeline_depth;
     memory;
+    mem_trace = Array.of_list (List.rev !rev_trace);
   }
 
 let to_file path t =

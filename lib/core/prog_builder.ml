@@ -19,6 +19,10 @@ type t = {
   mutable next_tag : int;
   mutable global_load_bytes : int;
   mutable global_store_bytes : int;
+  (* Allocation events in emission order, so the finished program carries
+     enough provenance for Verify to replay them through a fresh
+     allocator and recompute the memory report. *)
+  mutable rev_trace : Isa.mem_event list;
 }
 
 let create ~core_count ~strategy ~capacity =
@@ -29,6 +33,7 @@ let create ~core_count ~strategy ~capacity =
     next_tag = 0;
     global_load_bytes = 0;
     global_store_bytes = 0;
+    rev_trace = [];
   }
 
 let num_instrs t core = t.bufs.(core).count
@@ -56,6 +61,7 @@ let emit t ~core ?(deps = []) ?(node = -1) op =
    overflows.  Returns the indices of any spill instructions so callers
    can make dependent work wait for them. *)
 let alloc_buffer t ~core ~bytes ?(node = -1) request =
+  t.rev_trace <- Isa.Alloc { core; bytes; request } :: t.rev_trace;
   let spilled = Memalloc.alloc t.alloc ~core ~bytes request in
   if spilled > 0 then begin
     let s = emit t ~core ~node (Isa.Store { bytes = spilled }) in
@@ -64,9 +70,12 @@ let alloc_buffer t ~core ~bytes ?(node = -1) request =
   end
   else []
 
-let free_buffer t ~core ~bytes = Memalloc.free t.alloc ~core ~bytes
+let free_buffer t ~core ~bytes =
+  t.rev_trace <- Isa.Free { core; bytes } :: t.rev_trace;
+  Memalloc.free t.alloc ~core ~bytes
 
 let free_accumulator t ~core ~key =
+  t.rev_trace <- Isa.Free_accumulator { core; key } :: t.rev_trace;
   Memalloc.free_accumulator t.alloc ~core ~key
 
 (* A matched SEND/RECV pair.  Returns the receive's index on [dst].
@@ -102,4 +111,5 @@ let finish t ~graph_name ~mode ~strategy ~ag_core ~ag_xbars ~pipeline_depth =
         global_load_bytes = t.global_load_bytes;
         global_store_bytes = t.global_store_bytes;
       };
+    mem_trace = Array.of_list (List.rev t.rev_trace);
   }

@@ -2,10 +2,10 @@
 
 let pp_stage_seconds ppf (s : Compile.stage_seconds) =
   Fmt.pf ppf
-    "partitioning %.3fs, replicating+mapping %.3fs, scheduling %.3fs (total \
-     %.3fs wall, %.3fs cpu)"
+    "partitioning %.3fs, replicating+mapping %.3fs, scheduling %.3fs, \
+     verification %.3fs (total %.3fs wall, %.3fs cpu)"
     s.Compile.partitioning s.Compile.replicating_mapping s.Compile.scheduling
-    s.Compile.total s.Compile.total_cpu
+    s.Compile.verification s.Compile.total s.Compile.total_cpu
 
 let pp_replication ppf (result : Compile.t) =
   let table = result.Compile.table in

@@ -1,0 +1,532 @@
+(* Static verification of compiled Isa.t programs.  The ISA is the
+   contract between the compiler backend and the simulator; this pass
+   re-derives everything the simulator will rely on — index soundness,
+   rendezvous pairing, deadlock-freedom, the memory report — from the
+   program alone and reports any disagreement with a core/instruction
+   diagnostic instead of letting it surface as a crash, a hang or a
+   silently wrong metric deep inside a run. *)
+
+type kind =
+  | Dep_out_of_range
+  | Bad_operand
+  | Unknown_node
+  | Ag_out_of_range
+  | Ag_foreign_core
+  | Xbars_mismatch
+  | Endpoint_out_of_range
+  | Tag_out_of_range
+  | Duplicate_tag
+  | Unmatched_send
+  | Unmatched_recv
+  | Rendezvous_mismatch
+  | Rendezvous_deadlock
+  | Memory_drift
+  | Capacity_exceeded
+
+let kind_name = function
+  | Dep_out_of_range -> "dep-out-of-range"
+  | Bad_operand -> "bad-operand"
+  | Unknown_node -> "unknown-node"
+  | Ag_out_of_range -> "ag-out-of-range"
+  | Ag_foreign_core -> "ag-foreign-core"
+  | Xbars_mismatch -> "xbars-mismatch"
+  | Endpoint_out_of_range -> "endpoint-out-of-range"
+  | Tag_out_of_range -> "tag-out-of-range"
+  | Duplicate_tag -> "duplicate-tag"
+  | Unmatched_send -> "unmatched-send"
+  | Unmatched_recv -> "unmatched-recv"
+  | Rendezvous_mismatch -> "rendezvous-mismatch"
+  | Rendezvous_deadlock -> "rendezvous-deadlock"
+  | Memory_drift -> "memory-drift"
+  | Capacity_exceeded -> "capacity-exceeded"
+
+type violation = {
+  kind : kind;
+  core : int option;
+  instr : int option;
+  message : string;
+}
+
+let pp_violation ppf v =
+  Fmt.pf ppf "[%s]" (kind_name v.kind);
+  (match v.core with Some c -> Fmt.pf ppf " core %d" c | None -> ());
+  (match v.instr with Some i -> Fmt.pf ppf " instr %d" i | None -> ());
+  Fmt.pf ppf ": %s" v.message
+
+(* Violations are accumulated in reverse and flipped once at the end, so
+   reports read in program order. *)
+type acc = violation list ref
+
+let add (acc : acc) kind ?core ?instr message =
+  acc := { kind; core; instr; message } :: !acc
+
+(* ---- structural well-formedness ------------------------------------ *)
+
+let structural ?graph (t : Isa.t) =
+  let acc : acc = ref [] in
+  let num_cores = Array.length t.cores in
+  if num_cores <> t.core_count then
+    add acc Bad_operand
+      (Fmt.str "core table has %d entries but core_count is %d" num_cores
+         t.core_count);
+  let num_ags = Array.length t.ag_core in
+  if Array.length t.ag_xbars <> num_ags then
+    add acc Bad_operand
+      (Fmt.str "ag_core has %d entries but ag_xbars has %d" num_ags
+         (Array.length t.ag_xbars));
+  Array.iteri
+    (fun ag core ->
+      if core < 0 || core >= t.core_count then
+        add acc Ag_out_of_range
+          (Fmt.str "AG %d mapped to nonexistent core %d (of %d)" ag core
+             t.core_count))
+    t.ag_core;
+  Array.iteri
+    (fun ag xbars ->
+      if xbars <= 0 then
+        add acc Bad_operand (Fmt.str "AG %d has %d crossbars" ag xbars))
+    t.ag_xbars;
+  if t.num_tags < 0 then
+    add acc Bad_operand (Fmt.str "negative num_tags %d" t.num_tags);
+  let node_exists =
+    match graph with
+    | None -> fun _ -> true
+    | Some g ->
+        let n = Nnir.Graph.num_nodes g in
+        fun id -> id >= 0 && id < n
+  in
+  Array.iteri
+    (fun core instrs ->
+      Array.iteri
+        (fun idx (i : Isa.instr) ->
+          let bad kind fmt =
+            Fmt.kstr (add acc kind ~core ~instr:idx) fmt
+          in
+          List.iter
+            (fun d ->
+              if d < 0 || d >= idx then
+                bad Dep_out_of_range
+                  "dep %d out of range (must be in [0, %d))" d idx)
+            i.Isa.deps;
+          if i.Isa.node_id <> -1 && not (node_exists i.Isa.node_id) then
+            bad Unknown_node "node %d does not exist in the source graph"
+              i.Isa.node_id;
+          match i.Isa.op with
+          | Isa.Mvm m ->
+              if m.ag < 0 || m.ag >= num_ags then
+                bad Ag_out_of_range "MVM drives AG %d but the table has %d"
+                  m.ag num_ags
+              else begin
+                if t.ag_core.(m.ag) <> core then
+                  bad Ag_foreign_core
+                    "MVM drives AG %d which is mapped to core %d" m.ag
+                    t.ag_core.(m.ag);
+                if m.ag < Array.length t.ag_xbars
+                   && m.xbars <> t.ag_xbars.(m.ag) then
+                  bad Xbars_mismatch
+                    "MVM claims %d crossbars but AG %d has %d" m.xbars m.ag
+                    t.ag_xbars.(m.ag)
+              end;
+              if m.windows < 0 then bad Bad_operand "negative windows %d" m.windows;
+              if m.input_bytes < 0 || m.output_bytes < 0 then
+                bad Bad_operand "negative MVM byte count (%d in, %d out)"
+                  m.input_bytes m.output_bytes
+          | Isa.Vec v ->
+              if v.elements < 0 then
+                bad Bad_operand "negative VEC elements %d" v.elements
+          | Isa.Load { bytes } ->
+              if bytes < 0 then bad Bad_operand "negative LOAD bytes %d" bytes
+          | Isa.Store { bytes } ->
+              if bytes < 0 then bad Bad_operand "negative STORE bytes %d" bytes
+          | Isa.Send { dst; bytes; tag } ->
+              if dst < 0 || dst >= t.core_count then
+                bad Endpoint_out_of_range "SEND to nonexistent core %d" dst
+              else if dst = core then
+                bad Endpoint_out_of_range "SEND to own core %d" dst;
+              if bytes < 0 then bad Bad_operand "negative SEND bytes %d" bytes;
+              if tag < 0 || tag >= t.num_tags then
+                bad Tag_out_of_range "SEND tag %d outside [0, %d)" tag
+                  t.num_tags
+          | Isa.Recv { src; bytes; tag } ->
+              if src < 0 || src >= t.core_count then
+                bad Endpoint_out_of_range "RECV from nonexistent core %d" src
+              else if src = core then
+                bad Endpoint_out_of_range "RECV from own core %d" src;
+              if bytes < 0 then bad Bad_operand "negative RECV bytes %d" bytes;
+              if tag < 0 || tag >= t.num_tags then
+                bad Tag_out_of_range "RECV tag %d outside [0, %d)" tag
+                  t.num_tags)
+        instrs)
+    t.cores;
+  List.rev !acc
+
+(* ---- communication soundness --------------------------------------- *)
+
+let communication (t : Isa.t) =
+  let acc : acc = ref [] in
+  (* Tags are dense handles in [0, num_tags), so the first endpoint on
+     each side lives in flat tag-indexed arrays (count = 0 means the tag
+     is unused); out-of-range tags are structural violations and skipped
+     here.  Walking tags in index order keeps reports deterministic
+     without a sort, and the flat layout keeps this pass allocation-free
+     on the dominant clean path. *)
+  let num_tags = max 0 t.num_tags in
+  let s_count = Array.make num_tags 0 in
+  let s_core = Array.make num_tags 0 in
+  let s_idx = Array.make num_tags 0 in
+  let s_peer = Array.make num_tags 0 in
+  let s_bytes = Array.make num_tags 0 in
+  let r_count = Array.make num_tags 0 in
+  let r_core = Array.make num_tags 0 in
+  let r_idx = Array.make num_tags 0 in
+  let r_peer = Array.make num_tags 0 in
+  let r_bytes = Array.make num_tags 0 in
+  (* Deadlock graph scaffolding (filled below): the single sweep both
+     collects endpoints and counts dep out-degrees, since each full pass
+     over a large program is cache traffic worth avoiding. *)
+  let num_cores = Array.length t.cores in
+  let base = Array.make (num_cores + 1) 0 in
+  for c = 0 to num_cores - 1 do
+    base.(c + 1) <- base.(c) + Array.length t.cores.(c)
+  done;
+  let n = base.(num_cores) in
+  let gid core idx = base.(core) + idx in
+  let start = Array.make (n + 1) 0 in
+  let indeg = Array.make n 0 in
+  Array.iteri
+    (fun core instrs ->
+      let len = Array.length instrs in
+      Array.iteri
+        (fun idx (i : Isa.instr) ->
+          List.iter
+            (fun d ->
+              (* in-range forward deps are a structural violation, but
+                 they also stall the dataflow engine — feed them to the
+                 cycle detector rather than silently dropping them *)
+              if d >= 0 && d < len && d <> idx then begin
+                start.(gid core d + 1) <- start.(gid core d + 1) + 1;
+                (* an instruction's in-edges are exactly its own valid
+                   deps, so in-degrees fill sequentially here *)
+                indeg.(gid core idx) <- indeg.(gid core idx) + 1
+              end)
+            i.Isa.deps;
+          match i.Isa.op with
+          | Isa.Send { dst; bytes; tag } when tag >= 0 && tag < num_tags ->
+              if s_count.(tag) = 0 then begin
+                s_core.(tag) <- core;
+                s_idx.(tag) <- idx;
+                s_peer.(tag) <- dst;
+                s_bytes.(tag) <- bytes
+              end;
+              s_count.(tag) <- s_count.(tag) + 1
+          | Isa.Recv { src; bytes; tag } when tag >= 0 && tag < num_tags ->
+              if r_count.(tag) = 0 then begin
+                r_core.(tag) <- core;
+                r_idx.(tag) <- idx;
+                r_peer.(tag) <- src;
+                r_bytes.(tag) <- bytes
+              end;
+              r_count.(tag) <- r_count.(tag) + 1
+          | _ -> ())
+        instrs)
+    t.cores;
+  (* matched tags feed the deadlock graph below *)
+  let paired = Array.make num_tags false in
+  for tag = 0 to num_tags - 1 do
+    let sc = s_count.(tag) and rc = r_count.(tag) in
+    if sc > 1 then
+      add acc Duplicate_tag ~core:s_core.(tag) ~instr:s_idx.(tag)
+        (Fmt.str "tag %d used by %d SENDs" tag sc);
+    if rc > 1 then
+      add acc Duplicate_tag ~core:r_core.(tag) ~instr:r_idx.(tag)
+        (Fmt.str "tag %d used by %d RECVs" tag rc);
+    match (sc, rc) with
+    | 1, 1 ->
+        if s_peer.(tag) <> r_core.(tag) || r_peer.(tag) <> s_core.(tag) then
+          add acc Rendezvous_mismatch ~core:s_core.(tag) ~instr:s_idx.(tag)
+            (Fmt.str
+               "tag %d: SEND %d->%d but RECV on core %d expects source %d"
+               tag s_core.(tag) s_peer.(tag) r_core.(tag) r_peer.(tag))
+        else if s_bytes.(tag) <> r_bytes.(tag) then
+          add acc Rendezvous_mismatch ~core:s_core.(tag) ~instr:s_idx.(tag)
+            (Fmt.str "tag %d: SEND carries %dB but RECV expects %dB" tag
+               s_bytes.(tag) r_bytes.(tag))
+        else paired.(tag) <- true
+    | 1, 0 ->
+        add acc Unmatched_send ~core:s_core.(tag) ~instr:s_idx.(tag)
+          (Fmt.str "SEND tag %d to core %d has no matching RECV" tag
+             s_peer.(tag))
+    | 0, 1 ->
+        add acc Unmatched_recv ~core:r_core.(tag) ~instr:r_idx.(tag)
+          (Fmt.str "RECV tag %d from core %d has no matching SEND" tag
+             r_peer.(tag))
+    | _ -> () (* unused, or duplicates already reported *)
+  done;
+  (* Deadlock-freedom.  The engine executes pure dataflow: an
+     instruction runs once its intra-core deps have retired and, for a
+     RECV, once the matching SEND's message has arrived; granted
+     resources always complete.  So the program can stall if and only if
+     the union of dep edges and SEND->RECV edges has a cycle.  The graph
+     is built in compressed sparse rows (out-degrees were counted during
+     the sweep above, shifted by one row in [start]) and the topological
+     sweep uses an explicit int stack, so the clean path never allocates
+     per edge. *)
+  for tag = 0 to num_tags - 1 do
+    if paired.(tag) then begin
+      let a = gid s_core.(tag) s_idx.(tag) in
+      start.(a + 1) <- start.(a + 1) + 1;
+      let b = gid r_core.(tag) r_idx.(tag) in
+      indeg.(b) <- indeg.(b) + 1
+    end
+  done;
+  for id = 0 to n - 1 do
+    start.(id + 1) <- start.(id + 1) + start.(id)
+  done;
+  let succs = Array.make start.(n) 0 in
+  let cursor = Array.sub start 0 n in
+  let edge a b =
+    succs.(cursor.(a)) <- b;
+    cursor.(a) <- cursor.(a) + 1
+  in
+  Array.iteri
+    (fun core instrs ->
+      let len = Array.length instrs in
+      Array.iteri
+        (fun idx (i : Isa.instr) ->
+          List.iter
+            (fun d ->
+              if d >= 0 && d < len && d <> idx then
+                edge (gid core d) (gid core idx))
+            i.Isa.deps)
+        instrs)
+    t.cores;
+  for tag = 0 to num_tags - 1 do
+    if paired.(tag) then
+      edge (gid s_core.(tag) s_idx.(tag)) (gid r_core.(tag) r_idx.(tag))
+  done;
+  (* Kahn's sweep, consuming [indeg] in place: remaining in-degree 0
+     after the loop means the node was processed. *)
+  let stack = Array.make (max 1 n) 0 in
+  let sp = ref 0 in
+  for id = n - 1 downto 0 do
+    if indeg.(id) = 0 then begin
+      stack.(!sp) <- id;
+      incr sp
+    end
+  done;
+  let count = ref 0 in
+  while !sp > 0 do
+    decr sp;
+    let id = stack.(!sp) in
+    incr count;
+    for k = start.(id) to start.(id + 1) - 1 do
+      let s = succs.(k) in
+      indeg.(s) <- indeg.(s) - 1;
+      if indeg.(s) = 0 then begin
+        stack.(!sp) <- s;
+        incr sp
+      end
+    done
+  done;
+  if !count < n then begin
+    (* every unprocessed node has an unprocessed predecessor, so walking
+       predecessors from any of them must close a cycle — report it.
+       The predecessor lists are only needed on this error path, so they
+       are reconstructed here rather than maintained during the
+       (overwhelmingly common) clean pass. *)
+    let preds = Array.make n [] in
+    for a = 0 to n - 1 do
+      for k = start.(a) to start.(a + 1) - 1 do
+        preds.(succs.(k)) <- a :: preds.(succs.(k))
+      done
+    done;
+    let start = ref (-1) in
+    for id = n - 1 downto 0 do
+      if indeg.(id) > 0 then start := id
+    done;
+    let seen = Hashtbl.create 16 in
+    let rec walk id path =
+      match Hashtbl.find_opt seen id with
+      | Some () ->
+          (* close the cycle at [id] *)
+          let rec cut = function
+            | [] -> []
+            | x :: rest -> if x = id then [ x ] else x :: cut rest
+          in
+          List.rev (cut path)
+      | None ->
+          Hashtbl.add seen id ();
+          let pred = List.find (fun p -> indeg.(p) > 0) preds.(id) in
+          walk pred (pred :: path)
+    in
+    let cycle = walk !start [ !start ] in
+    let core_of id =
+      let c = ref 0 in
+      while base.(!c + 1) <= id do incr c done;
+      (!c, id - base.(!c))
+    in
+    let pp_node ppf id =
+      let c, i = core_of id in
+      Fmt.pf ppf "core %d instr %d" c i
+    in
+    let c0, i0 = core_of (List.hd cycle) in
+    add acc Rendezvous_deadlock ~core:c0 ~instr:i0
+      (Fmt.str "dependency/rendezvous cycle: %a (%d instructions stuck)"
+         Fmt.(list ~sep:(any " -> ") pp_node)
+         cycle (n - !count))
+  end;
+  List.rev !acc
+
+(* ---- resource accounting ------------------------------------------- *)
+
+let resources ?config (t : Isa.t) =
+  let acc : acc = ref [] in
+  (* global traffic must equal the LOAD/STORE bytes in the stream *)
+  let loads = ref 0 and stores = ref 0 in
+  Array.iter
+    (Array.iter (fun (i : Isa.instr) ->
+         match i.Isa.op with
+         | Isa.Load { bytes } -> loads := !loads + bytes
+         | Isa.Store { bytes } -> stores := !stores + bytes
+         | _ -> ()))
+    t.cores;
+  if !loads <> t.memory.Isa.global_load_bytes then
+    add acc Memory_drift
+      (Fmt.str "global loads: report says %dB, instruction stream sums to %dB"
+         t.memory.Isa.global_load_bytes !loads);
+  if !stores <> t.memory.Isa.global_store_bytes then
+    add acc Memory_drift
+      (Fmt.str
+         "global stores: report says %dB, instruction stream sums to %dB"
+         t.memory.Isa.global_store_bytes !stores);
+  if Array.length t.memory.Isa.local_peak_bytes <> t.core_count then
+    add acc Bad_operand
+      (Fmt.str "memory report covers %d cores but the program has %d"
+         (Array.length t.memory.Isa.local_peak_bytes)
+         t.core_count);
+  (* replay the allocation trace through a fresh allocator *)
+  let trace_ok = ref true in
+  Array.iter
+    (fun (ev : Isa.mem_event) ->
+      let core, bytes =
+        match ev with
+        | Isa.Alloc { core; bytes; _ } -> (core, bytes)
+        | Isa.Free { core; bytes } -> (core, bytes)
+        | Isa.Free_accumulator { core; _ } -> (core, 0)
+      in
+      if core < 0 || core >= t.core_count || bytes < 0 then begin
+        trace_ok := false;
+        add acc Bad_operand
+          (Fmt.str "invalid allocation event: %a" Isa.pp_mem_event ev)
+      end)
+    t.mem_trace;
+  let capacity =
+    (* LL streams schedule against an unbounded scratchpad (demand is
+       what the report records); HT streams spill against the hardware
+       scratchpad, so their replay needs the config *)
+    match (t.mode, config) with
+    | Mode.Low_latency, _ -> Some None
+    | Mode.High_throughput, Some (c : Pimhw.Config.t) ->
+        Some (Some c.Pimhw.Config.local_memory_bytes)
+    | Mode.High_throughput, None -> None
+  in
+  (match capacity with
+  | Some cap
+    when !trace_ok
+         && Array.length t.memory.Isa.local_peak_bytes = t.core_count ->
+      let m = Memalloc.create t.allocator ~core_count:t.core_count ~capacity:cap in
+      Array.iter
+        (fun (ev : Isa.mem_event) ->
+          match ev with
+          | Isa.Alloc { core; bytes; request } ->
+              ignore (Memalloc.alloc m ~core ~bytes request)
+          | Isa.Free { core; bytes } -> Memalloc.free m ~core ~bytes
+          | Isa.Free_accumulator { core; key } ->
+              Memalloc.free_accumulator m ~core ~key)
+        t.mem_trace;
+      let peaks = Memalloc.peaks m in
+      Array.iteri
+        (fun core peak ->
+          if peak <> t.memory.Isa.local_peak_bytes.(core) then
+            add acc Memory_drift ~core
+              (Fmt.str "local peak: report says %dB, replay gives %dB"
+                 t.memory.Isa.local_peak_bytes.(core) peak))
+        peaks;
+      let spill = Memalloc.spill_bytes m in
+      if spill <> t.memory.Isa.spill_bytes then
+        add acc Memory_drift
+          (Fmt.str "spill: report says %dB, replay gives %dB"
+             t.memory.Isa.spill_bytes spill)
+  | _ -> ());
+  (* crossbar capacity per core *)
+  (match config with
+  | None -> ()
+  | Some (c : Pimhw.Config.t) ->
+      let num_ags = Array.length t.ag_core in
+      let used = Array.make t.core_count 0 in
+      for ag = 0 to num_ags - 1 do
+        let core = t.ag_core.(ag) in
+        if core >= 0 && core < t.core_count && ag < Array.length t.ag_xbars
+        then used.(core) <- used.(core) + t.ag_xbars.(ag)
+      done;
+      Array.iteri
+        (fun core u ->
+          if u > c.Pimhw.Config.xbars_per_core then
+            add acc Capacity_exceeded ~core
+              (Fmt.str "core uses %d crossbars but the config allows %d" u
+                 c.Pimhw.Config.xbars_per_core))
+        used);
+  List.rev !acc
+
+(* ---- drivers -------------------------------------------------------- *)
+
+let run ?graph ?config t =
+  structural ?graph t @ communication t @ resources ?config t
+
+let report ppf = function
+  | [] -> Fmt.pf ppf "program verifies: no violations"
+  | vs ->
+      Fmt.pf ppf "@[<v>%d violation%s:@,%a@]" (List.length vs)
+        (if List.length vs = 1 then "" else "s")
+        Fmt.(list ~sep:cut (fun ppf v -> Fmt.pf ppf "  %a" pp_violation v))
+        vs
+
+let run_exn ?graph ?config t =
+  match run ?graph ?config t with
+  | [] -> ()
+  | vs -> invalid_arg (Fmt.str "Verify: %s: %a" t.Isa.graph_name report vs)
+
+(* The index-soundness subset a simulator needs before unchecked
+   accesses: weaker than [run] on purpose — micro-programs with
+   unmatched rendezvous or blank memory reports must still simulate. *)
+let well_formed_exn (t : Isa.t) =
+  let num_ags = Array.length t.ag_core in
+  let fail core idx fmt =
+    Fmt.kstr
+      (fun m -> invalid_arg (Fmt.str "Verify: core %d instr %d: %s" core idx m))
+      fmt
+  in
+  Array.iteri
+    (fun core instrs ->
+      Array.iteri
+        (fun idx (i : Isa.instr) ->
+          List.iter
+            (fun d ->
+              if d < 0 || d >= Array.length instrs then
+                fail core idx "dep %d out of range" d)
+            i.Isa.deps;
+          match i.Isa.op with
+          | Isa.Mvm m ->
+              if m.ag < 0 || m.ag >= num_ags then
+                fail core idx "invalid AG %d" m.ag
+          | Isa.Send { dst; tag; _ } ->
+              if dst < 0 || dst >= t.core_count then
+                fail core idx "SEND to nonexistent core %d" dst;
+              if tag < 0 then fail core idx "negative rendezvous tag %d" tag
+          | Isa.Recv { src; tag; _ } ->
+              if src < 0 || src >= t.core_count then
+                fail core idx "RECV from nonexistent core %d" src;
+              if tag < 0 then fail core idx "negative rendezvous tag %d" tag
+          | Isa.Vec _ | Isa.Load _ | Isa.Store _ -> ())
+        instrs)
+    t.cores

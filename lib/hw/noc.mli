@@ -16,10 +16,20 @@ val hops : t -> src:int -> dst:int -> int
 type link = { from_core : int; to_core : int }
 
 val route : t -> src:int -> dst:int -> link list
-(** XY route; empty list when [src = dst]. *)
+(** Dimension-ordered route; empty when [src = dst].  Every link
+    endpoint is a real core even on a ragged (not fully populated)
+    bottom row, and [List.length (route t ~src ~dst) = hops t ~src ~dst]
+    for all pairs. *)
 
 val hops_to_global_memory : t -> core:int -> int
 (** Hops from a core to the global-memory port at the top-left edge. *)
+
+val global_memory_port : int
+(** Pseudo-endpoint ([-1]) of the final link to the global memory. *)
+
+val route_to_global_memory : t -> core:int -> link list
+(** Route to core 0 followed by the port link; its length equals
+    [hops_to_global_memory t ~core]. *)
 
 val average_hops : t -> float
 val pp : t Fmt.t

@@ -13,7 +13,9 @@ type result = {
 }
 
 val replicate : Pimcomp.Isa.t -> batches:int -> Pimcomp.Isa.t
-(** The batched program; [Pimcomp.Isa.check]-clean if the input was. *)
+(** The batched program; [Pimcomp.Verify.run]-clean if the input was
+    (peaks, spill and the allocation trace are per-stream and carry
+    over verbatim; global traffic scales with [batches]). *)
 
 val run : ?parallelism:int -> Pimhw.Config.t -> Pimcomp.Isa.t -> batches:int -> result
 val pp : result Fmt.t

@@ -114,6 +114,10 @@ let bytes_to_flits (hw : Pimhw.Config.t) bytes =
 
 let arena ?(parallelism = default_parallelism) (hw : Pimhw.Config.t)
     (program : Isa.t) =
+  (* Index soundness (dep ranges, AG ids, rendezvous endpoints and tags)
+     is established once by the shared static checker, so the arena
+     build and the run loop can use unchecked accesses. *)
+  Pimcomp.Verify.well_formed_exn program;
   let timing = Pimhw.Timing.create ~parallelism hw in
   let energy = Pimhw.Energy_model.create hw in
   let core_count = program.Isa.core_count in
@@ -150,22 +154,8 @@ let arena ?(parallelism = default_parallelism) (hw : Pimhw.Config.t)
           let nd = List.length i.Isa.deps in
           dep_count.(id) <- nd;
           total_deps := !total_deps + nd;
-          (* Range validation here makes every index the run loop derives
-             from these tables sound, so [exec] can use unsafe accesses. *)
-          let len = Array.length instrs in
-          List.iter
-            (fun d ->
-              if d < 0 || d >= len then
-                invalid_arg
-                  (Fmt.str "Engine: core %d instr %d: dep %d out of range"
-                     core idx d))
-            i.Isa.deps;
           match i.Isa.op with
           | Isa.Mvm m ->
-              if m.ag < 0 || m.ag >= num_ags then
-                invalid_arg
-                  (Fmt.str "Engine: core %d instr %d: invalid AG %d" core idx
-                     m.ag);
               let w = float_of_int m.windows in
               kind.(id) <- k_mvm;
               res_of.(id) <- m.ag;
@@ -213,8 +203,6 @@ let arena ?(parallelism = default_parallelism) (hw : Pimhw.Config.t)
               pe_noc.(id) <-
                 Pimhw.Energy_model.message_energy_pj em ~hops ~bytes
           | Isa.Send s ->
-              if s.tag < 0 then
-                invalid_arg "Engine: negative rendezvous tag";
               kind.(id) <- k_send;
               tag_of.(id) <- s.tag;
               if s.tag > !max_tag then max_tag := s.tag;
@@ -224,8 +212,6 @@ let arena ?(parallelism = default_parallelism) (hw : Pimhw.Config.t)
               pe_noc.(id) <-
                 Pimhw.Energy_model.message_energy_pj em ~hops ~bytes:s.bytes
           | Isa.Recv r ->
-              if r.tag < 0 then
-                invalid_arg "Engine: negative rendezvous tag";
               kind.(id) <- k_recv;
               tag_of.(id) <- r.tag;
               if r.tag > !max_tag then max_tag := r.tag)

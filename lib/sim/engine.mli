@@ -14,11 +14,13 @@
 
     Execution is dataflow (dependency-driven): well-formed programs
     always terminate, and unmatched rendezvous surface as
-    [deadlocked = true] in the result instead of a hang.  A program that
-    executes two SENDs on the same rendezvous tag (possible only past
-    [Pimcomp.Isa.check], e.g. hand-built streams) is rejected with
-    [Invalid_argument] instead of silently overwriting the earlier
-    message. *)
+    [deadlocked = true] in the result instead of a hang.  Programs are
+    screened by [Pimcomp.Verify.well_formed_exn] — the index-soundness
+    subset of the full verifier, so hand-built micro-programs with
+    unmatched rendezvous or blank memory reports still simulate.  A
+    program that executes two SENDs on the same rendezvous tag (possible
+    only past that subset) is rejected with [Invalid_argument] instead
+    of silently overwriting the earlier message. *)
 
 type t
 (** A reusable simulation arena: one compiled program at one parallelism

@@ -132,6 +132,50 @@ let test_non_square_mesh () =
       (Pimhw.Noc.core_at noc ~x ~y)
   done
 
+let test_ragged_mesh_routes () =
+  (* core_count = 5 is a 3-wide mesh whose bottom row holds only cores 3
+     and 4; position (2,1) is a hole.  Dimension-ordered XY routing from
+     core 3 to core 2 would turn at that hole, so the router must fall
+     back to the YX corner.  Every link endpoint has to be a real core. *)
+  let noc = Pimhw.Noc.create ~core_count:5 in
+  for src = 0 to 4 do
+    for dst = 0 to 4 do
+      let route = Pimhw.Noc.route noc ~src ~dst in
+      Alcotest.(check int)
+        (Fmt.str "route %d->%d length" src dst)
+        (Pimhw.Noc.hops noc ~src ~dst)
+        (List.length route);
+      List.iter
+        (fun { Pimhw.Noc.from_core; to_core } ->
+          if from_core < 0 || from_core >= 5 || to_core < 0 || to_core >= 5
+          then
+            Alcotest.failf "route %d->%d crosses phantom core (%d->%d)" src
+              dst from_core to_core)
+        route
+    done
+  done
+
+let test_global_memory_route () =
+  (* hops_to_global_memory must agree with the explicit route to the
+     controller port beyond the top-left core *)
+  List.iter
+    (fun core_count ->
+      let noc = Pimhw.Noc.create ~core_count in
+      for core = 0 to core_count - 1 do
+        let route = Pimhw.Noc.route_to_global_memory noc ~core in
+        Alcotest.(check int)
+          (Fmt.str "n=%d core %d global hops" core_count core)
+          (Pimhw.Noc.hops_to_global_memory noc ~core)
+          (List.length route);
+        match List.rev route with
+        | { Pimhw.Noc.from_core = 0; to_core } :: _
+          when to_core = Pimhw.Noc.global_memory_port ->
+            ()
+        | _ -> Alcotest.failf "n=%d core %d: last link is not 0->port"
+                 core_count core
+      done)
+    [ 1; 5; 7; 16; 36 ]
+
 let mesh_hops_symmetric =
   QCheck.Test.make ~name:"mesh hops symmetric and triangle" ~count:300
     QCheck.(triple (int_range 1 49) (int_range 0 48) (int_range 0 48))
@@ -139,9 +183,14 @@ let mesh_hops_symmetric =
       let noc = Pimhw.Noc.create ~core_count:n in
       let a = a mod n and b = b mod n in
       let h = Pimhw.Noc.hops noc ~src:a ~dst:b in
+      let route = Pimhw.Noc.route noc ~src:a ~dst:b in
       h = Pimhw.Noc.hops noc ~src:b ~dst:a
       && h >= 0
-      && List.length (Pimhw.Noc.route noc ~src:a ~dst:b) = h)
+      && List.length route = h
+      && List.for_all
+           (fun { Pimhw.Noc.from_core; to_core } ->
+             from_core >= 0 && from_core < n && to_core >= 0 && to_core < n)
+           route)
 
 (* --- timing --------------------------------------------------------------- *)
 
@@ -207,6 +256,9 @@ let () =
           Alcotest.test_case "mesh geometry" `Quick test_mesh_geometry;
           Alcotest.test_case "routes" `Quick test_mesh_routes;
           Alcotest.test_case "non-square" `Quick test_non_square_mesh;
+          Alcotest.test_case "ragged routes" `Quick test_ragged_mesh_routes;
+          Alcotest.test_case "global memory route" `Quick
+            test_global_memory_route;
           QCheck_alcotest.to_alcotest mesh_hops_symmetric;
         ] );
       ( "timing",

@@ -153,12 +153,14 @@ let test_stage_times_recorded () =
        (s.Pimcomp.Compile.total
        -. (s.Pimcomp.Compile.partitioning
           +. s.Pimcomp.Compile.replicating_mapping
-          +. s.Pimcomp.Compile.scheduling))
+          +. s.Pimcomp.Compile.scheduling
+          +. s.Pimcomp.Compile.verification))
     < 1e-9);
   Alcotest.(check bool) "stages non-negative" true
     (s.Pimcomp.Compile.partitioning >= 0.0
     && s.Pimcomp.Compile.replicating_mapping >= 0.0
-    && s.Pimcomp.Compile.scheduling >= 0.0)
+    && s.Pimcomp.Compile.scheduling >= 0.0
+    && s.Pimcomp.Compile.verification >= 0.0)
 
 let test_report_renders () =
   let r, m = compile_and_run ~mode:Pimcomp.Mode.Low_latency ~strategy:ga

@@ -36,13 +36,16 @@ let expected_mvm_windows table =
     0
     (Pimcomp.Partition.entries table)
 
+let check_verifies ?graph label program =
+  match Pimcomp.Verify.run ?graph ~config:hw program with
+  | [] -> ()
+  | v :: _ -> Alcotest.failf "%s: %a" label Pimcomp.Verify.pp_violation v
+
 let test_well_formed name size =
-  let _, table, layout = layout_of name size in
+  let g, table, layout = layout_of name size in
   List.iter
     (fun (label, program) ->
-      (match Pimcomp.Isa.check program with
-      | [] -> ()
-      | e :: _ -> Alcotest.failf "%s %s: %s" name label e);
+      check_verifies ~graph:g (name ^ " " ^ label) program;
       Alcotest.(check int)
         (name ^ " " ^ label ^ " MVM window coverage")
         (expected_mvm_windows table)
@@ -184,10 +187,10 @@ let test_isa_text_roundtrip () =
     (fun program ->
       let text = Pimcomp.Isa_text.to_string program in
       let parsed = Pimcomp.Isa_text.of_string text in
+      Alcotest.(check bool) "parse (print p) = p" true (parsed = program);
       Alcotest.(check string) "round-trips" text
         (Pimcomp.Isa_text.to_string parsed);
-      Alcotest.(check (list string)) "parsed program well-formed" []
-        (Pimcomp.Isa.check parsed);
+      check_verifies "parsed program" parsed;
       (* the parsed program simulates identically *)
       let m1 = Pimsim.Engine.run hw program in
       let m2 = Pimsim.Engine.run hw parsed in
@@ -211,12 +214,9 @@ let test_isa_text_errors () =
 let test_grouped_network_schedules () =
   (* mobilenet exercises depthwise partitioning through both schedulers *)
   let g, table, layout = layout_of "mobilenet" 32 in
-  ignore g;
   List.iter
     (fun (label, program) ->
-      (match Pimcomp.Isa.check program with
-      | [] -> ()
-      | e :: _ -> Alcotest.failf "mobilenet %s: %s" label e);
+      check_verifies ~graph:g ("mobilenet " ^ label) program;
       Alcotest.(check int)
         ("mobilenet " ^ label ^ " windows")
         (expected_mvm_windows table)
@@ -228,10 +228,11 @@ let test_grouped_network_schedules () =
 let test_check_catches_bad_programs () =
   let _, _, layout = layout_of "tiny" 16 in
   let p = schedule_ht layout in
-  (* corrupt: unmatched recv *)
+  (* corrupt: a RECV on a fresh tag nothing ever SENDs *)
   let bad =
     {
       p with
+      Pimcomp.Isa.num_tags = p.Pimcomp.Isa.num_tags + 1;
       Pimcomp.Isa.cores =
         Array.mapi
           (fun core instrs ->
@@ -240,7 +241,8 @@ let test_check_catches_bad_programs () =
                 [|
                   {
                     Pimcomp.Isa.op =
-                      Pimcomp.Isa.Recv { src = 1; bytes = 8; tag = 999_999 };
+                      Pimcomp.Isa.Recv
+                        { src = 1; bytes = 8; tag = p.Pimcomp.Isa.num_tags };
                     deps = [];
                     node_id = -1;
                   };
@@ -249,8 +251,12 @@ let test_check_catches_bad_programs () =
           p.Pimcomp.Isa.cores;
     }
   in
+  let violations = Pimcomp.Verify.run ~config:hw bad in
   Alcotest.(check bool) "unmatched recv detected" true
-    (Pimcomp.Isa.check bad <> [])
+    (List.exists
+       (fun (v : Pimcomp.Verify.violation) ->
+         v.Pimcomp.Verify.kind = Pimcomp.Verify.Unmatched_recv)
+       violations)
 
 let () =
   Alcotest.run "schedule"

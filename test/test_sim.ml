@@ -23,6 +23,7 @@ let mk_program ?(core_count = 2) ?(num_ags = 2) cores =
         global_load_bytes = 0;
         global_store_bytes = 0;
       };
+    mem_trace = [||];
   }
 
 let instr ?(deps = []) op = { Pimcomp.Isa.op; deps; node_id = 0 }
@@ -244,8 +245,8 @@ let injection_never_crashes =
       QCheck.assume (n > 0);
       let index = raw_index mod n in
       let corrupted = drop_instr p ~core ~index in
-      match Pimcomp.Isa.check corrupted with
-      | _ :: _ -> true (* checker caught it *)
+      match Pimcomp.Verify.run ~config:hw corrupted with
+      | _ :: _ -> true (* verifier caught it *)
       | [] ->
           (* still structurally valid (the dropped op carried no
              rendezvous): the run must complete or flag a deadlock *)
@@ -269,8 +270,11 @@ let test_dropped_send_deadlocks () =
   | None -> () (* no messages in this mapping; nothing to test *)
   | Some (core, index) ->
       let corrupted = drop_instr p ~core ~index in
-      Alcotest.(check bool) "checker flags unmatched recv" true
-        (Pimcomp.Isa.check corrupted <> []);
+      Alcotest.(check bool) "verifier flags unmatched recv" true
+        (List.exists
+           (fun (v : Pimcomp.Verify.violation) ->
+             v.Pimcomp.Verify.kind = Pimcomp.Verify.Unmatched_recv)
+           (Pimcomp.Verify.run ~config:hw corrupted));
       let m = run corrupted in
       Alcotest.(check bool) "simulator deadlocks instead of hanging" true
         m.Pimsim.Metrics.deadlocked
@@ -285,8 +289,8 @@ let test_batch_replication () =
   let r = Pimcomp.Compile.compile ~options hw g in
   let program = r.Pimcomp.Compile.program in
   let doubled = Pimsim.Batch.replicate program ~batches:3 in
-  Alcotest.(check (list string)) "replicated program well-formed" []
-    (Pimcomp.Isa.check doubled);
+  Alcotest.(check int) "replicated program verifies" 0
+    (List.length (Pimcomp.Verify.run ~config:hw doubled));
   Alcotest.(check int) "3x instructions"
     (3 * Pimcomp.Isa.num_instrs program)
     (Pimcomp.Isa.num_instrs doubled)
@@ -406,9 +410,10 @@ let test_batch_zoo_coverage () =
     (fun (name, mode, program) ->
       let label = Fmt.str "%s %s" name (Pimcomp.Mode.to_string mode) in
       let b = Pimsim.Batch.replicate program ~batches:2 in
-      Alcotest.(check (list string))
-        (label ^ ": replicated program well-formed")
-        [] (Pimcomp.Isa.check b);
+      Alcotest.(check int)
+        (label ^ ": replicated program verifies")
+        0
+        (List.length (Pimcomp.Verify.run ~config:hw b));
       let m_new = Pimsim.Engine.run ~parallelism:20 hw b in
       let m_ref = Pimsim.Engine_ref.run ~parallelism:20 hw b in
       Alcotest.(check bool)
