@@ -821,24 +821,35 @@ let verify_bench () =
     reps;
   Fmt.pr "%-14s %-4s | %8s %10s %10s | %9s %8s@." "network" "mode" "instrs"
     "compile s" "verify s" "re-run s" "share";
-  let rows =
+  let cases =
     List.concat_map
-      (fun net ->
-        List.map
-          (fun mode ->
-            let options strategy =
-              {
-                Pimcomp.Compile.default_options with
-                mode;
-                parallelism = 20;
-                strategy;
-              }
-            in
+      (fun net -> List.map (fun mode -> (net, mode)) Pimcomp.Mode.all)
+      nets
+  in
+  let options mode strategy =
+    { Pimcomp.Compile.default_options with mode; parallelism = 20; strategy }
+  in
+  (* The zoo sweep goes through Compile.batch, but pinned to one domain:
+     the stamped per-stage wall times are the measurement here, and
+     concurrent jobs would inflate each other's stages with contention. *)
+  warm_graphs nets;
+  let results =
+    Pimcomp.Compile.batch ~jobs:1 hw
+      (List.concat_map
+         (fun (net, mode) ->
+           let g = graph_of net in
+           [ (g, options mode mapping); (g, options mode puma) ])
+         cases)
+  in
+  let rec pairs = function
+    | [] -> []
+    | a :: b :: tl -> (a, b) :: pairs tl
+    | [ _ ] -> assert false
+  in
+  let rows =
+    List.map2
+      (fun (net, mode) ((r : Pimcomp.Compile.t), (r_puma : Pimcomp.Compile.t)) ->
             let g = graph_of net in
-            let r = Pimcomp.Compile.compile ~options:(options mapping) hw g in
-            let r_puma =
-              Pimcomp.Compile.compile ~options:(options puma) hw g
-            in
             let program = r.Pimcomp.Compile.program in
             let instrs =
               Array.fold_left
@@ -872,8 +883,7 @@ let verify_bench () =
             (net, mode, instrs, s.Pimcomp.Compile.total,
              s.Pimcomp.Compile.verification, !standalone,
              sp.Pimcomp.Compile.total, sp.Pimcomp.Compile.verification))
-          Pimcomp.Mode.all)
-      nets
+      cases (pairs results)
   in
   let total_compile =
     List.fold_left (fun acc (_, _, _, t, _, _, _, _) -> acc +. t) 0.0 rows
@@ -924,6 +934,237 @@ let verify_bench () =
     (overall < 0.05);
   close_out oc;
   Fmt.pr "wrote BENCH_VERIFY.json@."
+
+(* --- compiler throughput -------------------------------------------------------- *)
+
+(* Benchmarks the flat-arena dataflow schedulers against the reference
+   hashtable formulations (Schedule_ll_ref / Schedule_ht_ref), the
+   Isa_text parser on the largest LL stream, and the whole-zoo parallel
+   compile driver (Compile.batch) against a sequential run.  Every
+   comparison asserts bit-identical programs first — a speedup over a
+   divergent reference is meaningless.  Results land in
+   BENCH_COMPILE.json; PIMCOMP_SIM_TINY=1 shrinks the run for the
+   `dune runtest` smoke invocation. *)
+let compile_bench () =
+  let tiny = Sys.getenv_opt "PIMCOMP_SIM_TINY" <> None in
+  let sched_nets =
+    if tiny then [ ("tiny", Nnir.Zoo.min_input_size "tiny") ]
+    else
+      [ ("vgg16", Nnir.Zoo.scaled_input_size ~factor:4 "vgg16");
+        ("inception_v3", Nnir.Zoo.scaled_input_size ~factor:4 "inception_v3") ]
+  in
+  let reps = if tiny then 3 else 7 in
+  let time_min f =
+    ignore (f ());
+    (* warm-up *)
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      ignore (Sys.opaque_identity (f ()));
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  (* Whole-zoo compile through Compile.batch: every zoo network in both
+     modes with the PUMA-like mapping (compile time is dominated by
+     scheduling there, which is what this section measures), sequential
+     vs the domain pool.  Everything except the wall-clock stage stamps
+     must be bit-identical.  Runs before the scheduler differential
+     rows: those churn gigabytes through the major heap, and OCaml 5.1
+     has no compaction, so running them first would tax this
+     measurement with their fragmentation. *)
+  let zoo_nets =
+    if tiny then sched_nets
+    else
+      List.map
+        (fun name -> (name, Nnir.Zoo.scaled_input_size ~factor:4 name))
+        Nnir.Zoo.names
+  in
+  warm_graphs zoo_nets;
+  let work =
+    List.concat_map
+      (fun net ->
+        List.map
+          (fun mode ->
+            ( graph_of net,
+              {
+                Pimcomp.Compile.default_options with
+                mode;
+                parallelism = 20;
+                strategy = puma;
+              } ))
+          Pimcomp.Mode.all)
+      zoo_nets
+  in
+  let wall f =
+    let best = ref infinity and result = ref None in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt;
+      result := Some r
+    done;
+    (Option.get !result, !best)
+  in
+  let recommended = Pimutil.Domain_pool.default_domains () in
+  let domains = max 4 recommended in
+  let seq, seq_s = wall (fun () -> Pimcomp.Compile.batch ~jobs:1 hw work) in
+  let par, par_s =
+    wall (fun () -> Pimcomp.Compile.batch ~jobs:domains hw work)
+  in
+  let batch_identical =
+    List.for_all2
+      (fun (a : Pimcomp.Compile.t) (b : Pimcomp.Compile.t) ->
+        a.Pimcomp.Compile.program = b.Pimcomp.Compile.program
+        && a.Pimcomp.Compile.chromosome = b.Pimcomp.Compile.chromosome
+        && a.Pimcomp.Compile.fitness = b.Pimcomp.Compile.fitness)
+      seq par
+  in
+  Fmt.pr
+    "@.Whole-zoo compile (%d jobs, PUMA-like mapping, --verify): sequential \
+     %.3f s,@.%d domains %.3f s (%.2fx), results %s (host recommends %d \
+     domains).@."
+    (List.length work) seq_s domains par_s (seq_s /. par_s)
+    (if batch_identical then "bit-identical" else "DIVERGED")
+    recommended;
+  (* Per-stage share of the sequential run, summed over the zoo. *)
+  let sum f =
+    List.fold_left
+      (fun acc (r : Pimcomp.Compile.t) ->
+        acc +. f r.Pimcomp.Compile.stage_seconds)
+      0.0 seq
+  in
+  let stage_partition = sum (fun s -> s.Pimcomp.Compile.partitioning) in
+  let stage_mapping = sum (fun s -> s.Pimcomp.Compile.replicating_mapping) in
+  let stage_sched = sum (fun s -> s.Pimcomp.Compile.scheduling) in
+  let stage_verify = sum (fun s -> s.Pimcomp.Compile.verification) in
+  Fmt.pr
+    "stage totals: partition %.3f s, map %.3f s, schedule %.3f s, verify \
+     %.3f s@."
+    stage_partition stage_mapping stage_sched stage_verify;
+
+  Fmt.pr
+    "Flat-arena schedulers vs the reference hashtable formulations@.\
+     (PUMA-like mapping, best of %d runs):@.@."
+    reps;
+  Fmt.pr "%-14s %-4s | %8s | %9s %9s | %8s | %s@." "network" "mode" "instrs"
+    "ref ms" "flat ms" "speedup" "identical";
+  let sched_rows =
+    List.concat_map
+      (fun net ->
+        let g = graph_of net in
+        let table = Pimcomp.Partition.of_graph hw g in
+        let core_count = Pimcomp.Partition.fit_core_count table in
+        let chrom =
+          Pimcomp.Puma_baseline.build table ~core_count
+            ~max_node_num_in_core:16
+        in
+        let layout = Pimcomp.Layout.of_chromosome chrom in
+        let measure mode =
+          let run, run_ref =
+            match mode with
+            | Pimcomp.Mode.High_throughput ->
+                ( (fun () -> Pimcomp.Schedule_ht.schedule layout),
+                  fun () -> Pimcomp.Schedule_ht_ref.schedule layout )
+            | Pimcomp.Mode.Low_latency ->
+                ( (fun () -> Pimcomp.Schedule_ll.schedule layout),
+                  fun () -> Pimcomp.Schedule_ll_ref.schedule layout )
+          in
+          let program = run () in
+          let identical = program = run_ref () in
+          let instrs =
+            Array.fold_left
+              (fun acc c -> acc + Array.length c)
+              0 program.Pimcomp.Isa.cores
+          in
+          (* Interleave the two sides within one loop: this container's
+             clock drifts enough that back-to-back best-of-N loops
+             flatter whichever side runs second.  Each side is timed
+             under its own GC regime — the flat scheduler grows the
+             nursery on entry (sticky, once per process in real use;
+             re-established outside the timed window here), the
+             reference ran against the default-sized nursery it was
+             written under — so the once-per-process resize cost lands
+             in neither number. *)
+          let default_gc =
+            { (Gc.get ()) with Gc.minor_heap_size = 262_144 }
+          in
+          let ref_best = ref infinity and flat_best = ref infinity in
+          (* The [Gc.full_major] before each window keeps one side's
+             floating garbage from being collected on the other side's
+             clock. *)
+          for _ = 1 to reps do
+            Pimcomp.Sched_common.ensure_bulk_nursery ();
+            Gc.full_major ();
+            let t0 = Unix.gettimeofday () in
+            ignore (Sys.opaque_identity (run ()));
+            let t1 = Unix.gettimeofday () in
+            Gc.set default_gc;
+            Gc.full_major ();
+            let t2 = Unix.gettimeofday () in
+            ignore (Sys.opaque_identity (run_ref ()));
+            let t3 = Unix.gettimeofday () in
+            if t1 -. t0 < !flat_best then flat_best := t1 -. t0;
+            if t3 -. t2 < !ref_best then ref_best := t3 -. t2
+          done;
+          let ref_s = !ref_best and flat_s = !flat_best in
+          Fmt.pr "%-14s %-4s | %8d | %9.3f %9.3f | %7.2fx | %b@." (fst net)
+            (Pimcomp.Mode.to_string mode)
+            instrs (ref_s *. 1e3) (flat_s *. 1e3) (ref_s /. flat_s) identical;
+          (net, mode, instrs, ref_s, flat_s, identical, program)
+        in
+        List.map measure Pimcomp.Mode.all)
+      sched_nets
+  in
+  (* Isa_text round-trip on the largest LL stream: the parser used to be
+     quadratic in instructions per core. *)
+  let _, _, rt_instrs, _, _, _, rt_program =
+    List.fold_left
+      (fun ((_, _, bi, _, _, _, _) as best)
+           ((_, mode, i, _, _, _, _) as row) ->
+        if mode = Pimcomp.Mode.Low_latency && i > bi then row else best)
+      (List.hd sched_rows) (List.tl sched_rows)
+  in
+  let text = Pimcomp.Isa_text.to_string rt_program in
+  let parsed = Pimcomp.Isa_text.of_string text in
+  let rt_identical = parsed = rt_program in
+  let print_s = time_min (fun () -> Pimcomp.Isa_text.to_string rt_program) in
+  let parse_s = time_min (fun () -> Pimcomp.Isa_text.of_string text) in
+  Fmt.pr
+    "@.Isa_text round-trip of the %d-instruction LL stream: print %.3f s, \
+     parse %.3f s,@.round-trip %s.@."
+    rt_instrs print_s parse_s
+    (if rt_identical then "exact" else "DIVERGED");
+  let oc = open_out "BENCH_COMPILE.json" in
+  let json = Format.formatter_of_out_channel oc in
+  Format.fprintf json "{@.  \"tiny\": %b,@.  \"schedulers\": [@." tiny;
+  List.iteri
+    (fun i (net, mode, instrs, ref_s, flat_s, identical, _) ->
+      Format.fprintf json
+        "    { \"network\": %S, \"mode\": %S, \"instructions\": %d,@.      \
+         \"ref_seconds\": %.6f, \"flat_seconds\": %.6f, \"speedup\": %.2f, \
+         \"bit_identical\": %b }%s@."
+        (fst net)
+        (Pimcomp.Mode.to_string mode)
+        instrs ref_s flat_s (ref_s /. flat_s) identical
+        (if i = List.length sched_rows - 1 then "" else ","))
+    sched_rows;
+  Format.fprintf json
+    "  ],@.  \"isa_text\": { \"instructions\": %d, \"print_seconds\": %.6f, \
+     \"parse_seconds\": %.6f, \"round_trip_exact\": %b },@."
+    rt_instrs print_s parse_s rt_identical;
+  Format.fprintf json
+    "  \"zoo_batch\": { \"jobs\": %d, \"domains\": %d, \
+     \"recommended_domains\": %d,@.    \"seq_seconds\": %.6f, \
+     \"par_seconds\": %.6f, \"speedup\": %.2f, \"bit_identical\": %b,@.    \
+     \"stage_seconds\": { \"partitioning\": %.6f, \"replicating_mapping\": \
+     %.6f,@.      \"scheduling\": %.6f, \"verification\": %.6f } }@.}@."
+    (List.length work) domains recommended seq_s par_s (seq_s /. par_s)
+    batch_identical stage_partition stage_mapping stage_sched stage_verify;
+  close_out oc;
+  Fmt.pr "wrote BENCH_COMPILE.json@."
 
 (* --- Bechamel micro-benchmarks ------------------------------------------------ *)
 
@@ -995,6 +1236,7 @@ let sections : (string * (unit -> unit)) list =
     ("ga", ga_throughput);
     ("sim", sim);
     ("verify", verify_bench);
+    ("compile", compile_bench);
     ("batch", batch);
     ("micro", micro);
   ]

@@ -402,53 +402,89 @@ let sweep_cmd =
        $ generations_arg $ fast_arg $ allocator_arg $ domains_arg
        $ parallelisms_arg))
 
+let jobs_arg =
+  let doc =
+    "Worker domains for fanning independent compiles out in parallel \
+     (default: the host's recommended domain count).  Results are \
+     bit-identical whatever the value."
+  in
+  Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
 let verify_cmd =
-  let run target input_size mode allocator strategy seed generations fast =
+  let run targets input_size mode allocator strategy seed generations fast
+      jobs =
     wrap (fun () ->
         let hw = Pimhw.Config.puma_like in
-        let program, graph =
-          if Sys.file_exists target && Filename.check_suffix target ".isa"
-          then (Pimcomp.Isa_text.of_file target, None)
-          else begin
-            let graph = load_network target input_size in
-            let options =
-              build_options ~verify:false ~mode ~parallelism:8 ~cores:None
-                ~allocator
-                ~strategy:(strategy_of_flags strategy fast generations seed)
-                ~seed ~objective:Pimcomp.Fitness.Minimize_time ()
-            in
-            let r = Pimcomp.Compile.compile ~options hw graph in
-            (r.Pimcomp.Compile.program, Some graph)
-          end
+        (* "zoo" expands to the whole model zoo — the verifier sweep. *)
+        let targets =
+          List.concat_map
+            (fun t -> if t = "zoo" then Nnir.Zoo.names else [ t ])
+            targets
         in
-        match Pimcomp.Verify.run ?graph ~config:hw program with
-        | [] ->
-            Fmt.pr "verified: %d cores, %d instructions, no violations@."
-              program.Pimcomp.Isa.core_count
-              (Array.fold_left
-                 (fun acc c -> acc + Array.length c)
-                 0 program.Pimcomp.Isa.cores)
-        | violations ->
-            Fmt.epr "%a@." Pimcomp.Verify.report violations;
-            raise
-              (Invalid_argument
-                 (Fmt.str "%d violation(s)" (List.length violations))))
+        let is_isa t =
+          Sys.file_exists t && Filename.check_suffix t ".isa"
+        in
+        let isa_targets, net_targets = List.partition is_isa targets in
+        let options =
+          build_options ~verify:false ~mode ~parallelism:8 ~cores:None
+            ~allocator
+            ~strategy:(strategy_of_flags strategy fast generations seed)
+            ~seed ~objective:Pimcomp.Fitness.Minimize_time ()
+        in
+        (* Network targets compile in parallel; .isa dumps just parse. *)
+        let compiled =
+          Pimcomp.Compile.batch ?jobs hw
+            (List.map
+               (fun t -> (load_network t input_size, options))
+               net_targets)
+        in
+        let work =
+          List.map
+            (fun t -> (t, Pimcomp.Isa_text.of_file t, None))
+            isa_targets
+          @ List.map2
+              (fun t (r : Pimcomp.Compile.t) ->
+                (t, r.Pimcomp.Compile.program, Some r.Pimcomp.Compile.graph))
+              net_targets compiled
+        in
+        let failed = ref 0 in
+        List.iter
+          (fun (label, program, graph) ->
+            match Pimcomp.Verify.run ?graph ~config:hw program with
+            | [] ->
+                Fmt.pr "%s: verified: %d cores, %d instructions, no \
+                        violations@."
+                  label program.Pimcomp.Isa.core_count
+                  (Array.fold_left
+                     (fun acc c -> acc + Array.length c)
+                     0 program.Pimcomp.Isa.cores)
+            | violations ->
+                incr failed;
+                Fmt.epr "%s:@.%a@." label Pimcomp.Verify.report violations)
+          work;
+        if !failed > 0 then
+          raise
+            (Invalid_argument (Fmt.str "%d target(s) failed" !failed)))
   in
-  let target_arg =
-    let doc = "Zoo network name, .nnt model file, or compiled .isa dump." in
-    Arg.(required & pos 0 (some string) None & info [] ~docv:"TARGET" ~doc)
+  let targets_arg =
+    let doc =
+      "Zoo network names, .nnt model files, compiled .isa dumps, or the \
+       literal \"zoo\" for every zoo network."
+    in
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"TARGET" ~doc)
   in
   Cmd.v
     (Cmd.info "verify"
        ~doc:
-         "Statically verify a compiled program: structural \
+         "Statically verify compiled programs: structural \
           well-formedness, send/recv rendezvous soundness and \
-          deadlock-freedom, and memory accounting.  Compiles TARGET \
-          first unless it is an .isa dump.")
+          deadlock-freedom, and memory accounting.  Network TARGETs are \
+          compiled first, fanned across --jobs domains; .isa dumps are \
+          parsed directly.")
     Term.(
       term_result
-        (const run $ target_arg $ input_size_arg $ mode_arg $ allocator_arg
-       $ strategy_arg $ seed_arg $ generations_arg $ fast_arg))
+        (const run $ targets_arg $ input_size_arg $ mode_arg $ allocator_arg
+       $ strategy_arg $ seed_arg $ generations_arg $ fast_arg $ jobs_arg))
 
 let export_cmd =
   let format_arg =

@@ -196,3 +196,16 @@ let compile ?(options = default_options) (config : Pimhw.Config.t)
         total_cpu = Sys.time () -. cpu0;
       };
   }
+
+(* Fan independent compiles across OCaml domains.  Every job is pure
+   and seeded (the GA RNG comes from options.seed; nothing reads the
+   wall clock except the stage timers), so the returned programs,
+   chromosomes, and fitness values are bit-identical to a sequential
+   run whatever the domain count — only [stage_seconds] varies.  Jobs
+   running an island GA ([ga_islands = Some _]) spawn their own inner
+   domains; keep [jobs] low in that case to avoid oversubscription. *)
+let batch ?jobs (config : Pimhw.Config.t) work =
+  Pimhw.Config.validate config;
+  Pimutil.Domain_pool.map_list ?domains:jobs
+    (fun (graph, options) -> compile ~options config graph)
+    work

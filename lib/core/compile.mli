@@ -60,3 +60,12 @@ val compile : ?options:options -> Pimhw.Config.t -> Nnir.Graph.t -> t
 (** Raises [Invalid_argument] on constraint violations or malformed
     output programs and {!Chromosome.Infeasible} when the network cannot
     fit the machine. *)
+
+val batch :
+  ?jobs:int -> Pimhw.Config.t -> (Nnir.Graph.t * options) list -> t list
+(** Compile each (graph, options) job, fanned across up to [jobs]
+    OCaml domains (default: {!Pimutil.Domain_pool.default_domains}).
+    Jobs are pure and seeded, so results are bit-identical to mapping
+    {!compile} over the list sequentially, whatever [jobs] is; only the
+    wall-clock [stage_seconds] fields vary.  Exceptions from any job are
+    re-raised in the caller. *)

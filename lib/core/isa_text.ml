@@ -131,7 +131,12 @@ let of_string text =
   let memory = ref None in
   let ags = ref [] in
   let rev_trace = ref [] in
-  let cores : (int, Isa.instr list ref) Hashtbl.t = Hashtbl.create 64 in
+  (* Reversed instruction accumulator per core; the count rides along so
+     index validation is O(1) per line instead of List.length over the
+     growing buffer (quadratic on the ~10^5-instruction LL streams). *)
+  let cores : (int, Isa.instr list ref * int ref) Hashtbl.t =
+    Hashtbl.create 64
+  in
   let current_core = ref None in
   List.iteri
     (fun i raw ->
@@ -222,7 +227,7 @@ let of_string text =
         | [ "core"; c ] ->
             let c = parse_int line "core id" c in
             if Hashtbl.mem cores c then errf line "duplicate core %d" c;
-            Hashtbl.add cores c (ref []);
+            Hashtbl.add cores c (ref [], ref 0);
             current_core := Some c
         | idx_colon :: kind :: rest -> (
             match !current_core with
@@ -230,7 +235,8 @@ let of_string text =
             | Some c ->
                 (* the index prefix is redundant but must agree with the
                    instruction's position, else deps silently rebind *)
-                let expected = List.length !(Hashtbl.find cores c) in
+                let buf, count = Hashtbl.find cores c in
+                let expected = !count in
                 let idx_str =
                   match String.index_opt idx_colon ':' with
                   | Some i -> String.sub idx_colon 0 i
@@ -298,8 +304,8 @@ let of_string text =
                         }
                   | k -> errf line "unknown instruction kind %S" k
                 in
-                let buf = Hashtbl.find cores c in
-                buf := { Isa.op; deps; node_id } :: !buf)
+                buf := { Isa.op; deps; node_id } :: !buf;
+                incr count)
         | _ -> errf line "unparseable line %S" raw)
     lines;
   let name, mode, allocator, core_count, num_tags, pipeline_depth =
@@ -342,7 +348,7 @@ let of_string text =
   let core_arrays =
     Array.init core_count (fun c ->
         match Hashtbl.find_opt cores c with
-        | Some buf -> Array.of_list (List.rev !buf)
+        | Some (buf, _) -> Array.of_list (List.rev !buf)
         | None -> [||])
   in
   {

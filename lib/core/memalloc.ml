@@ -102,32 +102,49 @@ let reclaim c bytes =
   c.current <- max 0 (c.current - (bytes - from_phantom))
 
 (* Request a buffer of [bytes] on [core].  Returns the number of bytes
-   that spilled (0 almost always; HT + naive overflows). *)
-let alloc t ~core ~bytes request =
+   that spilled (0 almost always; HT + naive overflows).  The scalar
+   entry points below are the per-instruction hot path: no [request]
+   value, and [find] + [Not_found] rather than [find_opt] because the
+   option box is pure garbage at this call rate. *)
+let alloc_fresh t ~core ~bytes =
   if bytes < 0 then invalid_arg "Memalloc.alloc: negative size";
-  let c = t.cores.(core) in
-  match (request, t.strategy) with
-  | Fresh, _ -> grow t core bytes
-  | Accumulator _, Naive -> grow t core bytes
-  | Accumulator key, (Add_reuse | Ag_reuse) -> (
-      match Hashtbl.find_opt c.accumulators key with
-      | Some held when held >= bytes -> 0
-      | Some held ->
+  grow t core bytes
+
+let alloc_accumulator t ~core ~bytes ~key =
+  if bytes < 0 then invalid_arg "Memalloc.alloc: negative size";
+  match t.strategy with
+  | Naive -> grow t core bytes
+  | Add_reuse | Ag_reuse -> (
+      let c = t.cores.(core) in
+      match Hashtbl.find c.accumulators key with
+      | held when held >= bytes -> 0
+      | held ->
           Hashtbl.replace c.accumulators key bytes;
           grow t core (bytes - held)
-      | None ->
+      | exception Not_found ->
           Hashtbl.add c.accumulators key bytes;
           grow t core bytes)
-  | Ag_slot _, (Naive | Add_reuse) -> grow t core bytes
-  | Ag_slot key, Ag_reuse -> (
-      match Hashtbl.find_opt c.ag_slots key with
-      | Some held when held >= bytes -> 0
-      | Some held ->
+
+let alloc_ag_slot t ~core ~bytes ~key =
+  if bytes < 0 then invalid_arg "Memalloc.alloc: negative size";
+  match t.strategy with
+  | Naive | Add_reuse -> grow t core bytes
+  | Ag_reuse -> (
+      let c = t.cores.(core) in
+      match Hashtbl.find c.ag_slots key with
+      | held when held >= bytes -> 0
+      | held ->
           Hashtbl.replace c.ag_slots key bytes;
           grow t core (bytes - held)
-      | None ->
+      | exception Not_found ->
           Hashtbl.add c.ag_slots key bytes;
           grow t core bytes)
+
+let alloc t ~core ~bytes request =
+  match request with
+  | Fresh -> alloc_fresh t ~core ~bytes
+  | Accumulator key -> alloc_accumulator t ~core ~bytes ~key
+  | Ag_slot key -> alloc_ag_slot t ~core ~bytes ~key
 
 (* Release a plain block.  Only [Ag_reuse] actually reclaims: the naive
    and ADD-reuse disciplines of Fig. 7 leave dead blocks in place. *)

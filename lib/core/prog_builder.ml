@@ -2,15 +2,31 @@
    per-core instruction buffers, rendezvous tag allocation, the local-
    memory allocator, and global-traffic accounting.
 
+   The hot path is [emit]: the schedulers call it once per instruction
+   (hundreds of thousands of times for the large LL streams), so
+   instructions accumulate in growable arenas of final [Isa.instr]
+   records — built exactly once at emission and handed to [Isa.t] with a
+   single blit per core — rather than reversed lists that [finish] must
+   re-traverse.  An earlier iteration packed operands as 7 ints per
+   instruction; measured on the bench networks, re-materialising the
+   boxed records [Isa.t] needs cost more than the packing saved (the
+   records must exist either way, so packing pays for them twice), so
+   the arena holds the records directly.  The specialised
+   [emit_mvm]/[emit_vec]/[emit_load]/[emit_store] entry points take
+   required labelled scalar arguments — without flambda an optional
+   argument boxes a [Some] at every call site — and dependency lists are
+   retained as given, so nothing is re-packed or decoded at [finish].
+
    Spills reported by the allocator (HT mode, capacity-bound) materialise
    as Store/Load pairs so that the naive allocation discipline really
    pays its extra global-memory accesses in simulated time as well as in
    the traffic statistics. *)
 
-type core_buf = {
-  mutable rev_instrs : Isa.instr list;
-  mutable count : int;
-}
+(* --- growable record arenas ----------------------------------------------- *)
+
+let dummy_instr = { Isa.op = Isa.Load { bytes = 0 }; deps = []; node_id = -1 }
+
+type core_buf = { mutable instrs : Isa.instr array; mutable count : int }
 
 type t = {
   core_count : int;
@@ -22,60 +38,129 @@ type t = {
   (* Allocation events in emission order, so the finished program carries
      enough provenance for Verify to replay them through a fresh
      allocator and recompute the memory report. *)
-  mutable rev_trace : Isa.mem_event list;
+  mutable trace : Isa.mem_event array;
+  mutable trace_len : int;
 }
+
+let dummy_event = Isa.Free { core = -1; bytes = 0 }
 
 let create ~core_count ~strategy ~capacity =
   {
     core_count;
-    bufs = Array.init core_count (fun _ -> { rev_instrs = []; count = 0 });
+    bufs =
+      Array.init core_count (fun _ ->
+          { instrs = Array.make 64 dummy_instr; count = 0 });
     alloc = Memalloc.create strategy ~core_count ~capacity;
     next_tag = 0;
     global_load_bytes = 0;
     global_store_bytes = 0;
-    rev_trace = [];
+    trace = Array.make 256 dummy_event;
+    trace_len = 0;
   }
 
 let num_instrs t core = t.bufs.(core).count
 
-(* Append an instruction; returns its index within the core. *)
-let emit t ~core ?(deps = []) ?(node = -1) op =
-  let buf = t.bufs.(core) in
-  let idx = buf.count in
-  List.iter
-    (fun d ->
+let rec check_deps core idx = function
+  | [] -> ()
+  | d :: tl ->
       if d < 0 || d >= idx then
         invalid_arg
           (Fmt.str "Prog_builder.emit: dep %d out of range on core %d (at %d)"
-             d core idx))
-    deps;
-  (match op with
-  | Isa.Load { bytes } -> t.global_load_bytes <- t.global_load_bytes + bytes
-  | Isa.Store { bytes } -> t.global_store_bytes <- t.global_store_bytes + bytes
-  | _ -> ());
-  buf.rev_instrs <- { Isa.op; deps; node_id = node } :: buf.rev_instrs;
+             d core idx);
+      check_deps core idx tl
+
+(* Append an instruction record; returns its index within the core. *)
+let[@inline always] push t ~core instr =
+  let buf = t.bufs.(core) in
+  let idx = buf.count in
+  check_deps core idx instr.Isa.deps;
+  if idx >= Array.length buf.instrs then begin
+    let a' = Array.make (2 * Array.length buf.instrs) dummy_instr in
+    Array.blit buf.instrs 0 a' 0 idx;
+    buf.instrs <- a'
+  end;
+  buf.instrs.(idx) <- instr;
   buf.count <- idx + 1;
   idx
 
-(* Request a local buffer; emits the spill round-trip if the allocator
-   overflows.  Returns the indices of any spill instructions so callers
-   can make dependent work wait for them. *)
-let alloc_buffer t ~core ~bytes ?(node = -1) request =
-  t.rev_trace <- Isa.Alloc { core; bytes; request } :: t.rev_trace;
-  let spilled = Memalloc.alloc t.alloc ~core ~bytes request in
+(* All-labelled (no optional) arguments: without flambda an optional
+   argument boxes a [Some] at every call site, which is measurable at
+   hundreds of thousands of calls. *)
+let emit_mvm t ~core ~deps ~node ~ag ~windows ~xbars ~input_bytes
+    ~output_bytes =
+  push t ~core
+    {
+      Isa.op = Isa.Mvm { ag; windows; xbars; input_bytes; output_bytes };
+      deps;
+      node_id = node;
+    }
+
+let emit_vec t ~core ~deps ~node ~kind ~elements =
+  push t ~core { Isa.op = Isa.Vec { kind; elements }; deps; node_id = node }
+
+let emit_load t ~core ~deps ~node ~bytes =
+  t.global_load_bytes <- t.global_load_bytes + bytes;
+  push t ~core { Isa.op = Isa.Load { bytes }; deps; node_id = node }
+
+let emit_store t ~core ~deps ~node ~bytes =
+  t.global_store_bytes <- t.global_store_bytes + bytes;
+  push t ~core { Isa.op = Isa.Store { bytes }; deps; node_id = node }
+
+let emit t ~core ?(deps = []) ?(node = -1) op =
+  (match op with
+  | Isa.Load { bytes } -> t.global_load_bytes <- t.global_load_bytes + bytes
+  | Isa.Store { bytes } ->
+      t.global_store_bytes <- t.global_store_bytes + bytes
+  | _ -> ());
+  push t ~core { Isa.op; deps; node_id = node }
+
+let push_trace t ev =
+  let idx = t.trace_len in
+  if idx >= Array.length t.trace then begin
+    let a' = Array.make (2 * Array.length t.trace) dummy_event in
+    Array.blit t.trace 0 a' 0 idx;
+    t.trace <- a'
+  end;
+  t.trace.(idx) <- ev;
+  t.trace_len <- idx + 1
+
+(* Emit the spill round-trip if the allocator overflowed.  Returns the
+   indices of any spill instructions so callers can make dependent work
+   wait for them. *)
+let spill_instrs t ~core ~node spilled =
   if spilled > 0 then begin
-    let s = emit t ~core ~node (Isa.Store { bytes = spilled }) in
-    let l = emit t ~core ~deps:[ s ] ~node (Isa.Load { bytes = spilled }) in
+    let s = emit_store t ~core ~deps:[] ~node ~bytes:spilled in
+    let l = emit_load t ~core ~deps:[ s ] ~node ~bytes:spilled in
     [ l ]
   end
   else []
 
+(* Request a local buffer; scalar variants mirror {!Memalloc}'s. *)
+let alloc_fresh t ~core ~bytes ~node =
+  push_trace t (Isa.Alloc { core; bytes; request = Memalloc.Fresh });
+  spill_instrs t ~core ~node (Memalloc.alloc_fresh t.alloc ~core ~bytes)
+
+let alloc_accumulator t ~core ~bytes ~node ~key =
+  push_trace t (Isa.Alloc { core; bytes; request = Memalloc.Accumulator key });
+  spill_instrs t ~core ~node
+    (Memalloc.alloc_accumulator t.alloc ~core ~bytes ~key)
+
+let alloc_ag_slot t ~core ~bytes ~node ~key =
+  push_trace t (Isa.Alloc { core; bytes; request = Memalloc.Ag_slot key });
+  spill_instrs t ~core ~node (Memalloc.alloc_ag_slot t.alloc ~core ~bytes ~key)
+
+let alloc_buffer t ~core ~bytes ?(node = -1) request =
+  match request with
+  | Memalloc.Fresh -> alloc_fresh t ~core ~bytes ~node
+  | Memalloc.Accumulator key -> alloc_accumulator t ~core ~bytes ~node ~key
+  | Memalloc.Ag_slot key -> alloc_ag_slot t ~core ~bytes ~node ~key
+
 let free_buffer t ~core ~bytes =
-  t.rev_trace <- Isa.Free { core; bytes } :: t.rev_trace;
+  push_trace t (Isa.Free { core; bytes });
   Memalloc.free t.alloc ~core ~bytes
 
 let free_accumulator t ~core ~key =
-  t.rev_trace <- Isa.Free_accumulator { core; key } :: t.rev_trace;
+  push_trace t (Isa.Free_accumulator { core; key });
   Memalloc.free_accumulator t.alloc ~core ~key
 
 (* A matched SEND/RECV pair.  Returns the receive's index on [dst].
@@ -86,9 +171,17 @@ let send_recv t ~src ~dst ~bytes ?(node = -1) ~src_deps ~dst_deps () =
   let tag = t.next_tag in
   t.next_tag <- tag + 1;
   let _send =
-    emit t ~core:src ~deps:src_deps ~node (Isa.Send { dst; bytes; tag })
+    push t ~core:src
+      {
+        Isa.op = Isa.Send { dst; bytes; tag };
+        deps = src_deps;
+        node_id = node;
+      }
   in
-  emit t ~core:dst ~deps:dst_deps ~node (Isa.Recv { src; bytes; tag })
+  push t ~core:dst
+    { Isa.op = Isa.Recv { src; bytes; tag }; deps = dst_deps; node_id = node }
+
+(* --- materialisation ------------------------------------------------------ *)
 
 let finish t ~graph_name ~mode ~strategy ~ag_core ~ag_xbars ~pipeline_depth =
   {
@@ -96,10 +189,7 @@ let finish t ~graph_name ~mode ~strategy ~ag_core ~ag_xbars ~pipeline_depth =
     mode;
     allocator = strategy;
     core_count = t.core_count;
-    cores =
-      Array.map
-        (fun buf -> Array.of_list (List.rev buf.rev_instrs))
-        t.bufs;
+    cores = Array.map (fun buf -> Array.sub buf.instrs 0 buf.count) t.bufs;
     ag_core;
     ag_xbars;
     num_tags = t.next_tag;
@@ -111,5 +201,5 @@ let finish t ~graph_name ~mode ~strategy ~ag_core ~ag_xbars ~pipeline_depth =
         global_load_bytes = t.global_load_bytes;
         global_store_bytes = t.global_store_bytes;
       };
-    mem_trace = Array.of_list (List.rev t.rev_trace);
+    mem_trace = Array.sub t.trace 0 t.trace_len;
   }

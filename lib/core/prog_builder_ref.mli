@@ -1,4 +1,5 @@
-(** Mutable program-under-construction shared by the two schedulers:
+(** Reference (pre-arena) builder used only by {!Schedule_ll_ref} /
+    {!Schedule_ht_ref} for differential benchmarking.  Mutable program-under-construction shared by the two schedulers:
     per-core instruction buffers, rendezvous tags, the local-memory
     allocator and global-traffic accounting.  Allocator spills
     materialise as STORE/LOAD round trips. *)
@@ -14,54 +15,10 @@ val emit : t -> core:int -> ?deps:int list -> ?node:Nnir.Node.id -> Isa.op -> in
 (** Appends an instruction and returns its index within the core.
     Raises [Invalid_argument] if a dependency index is out of range. *)
 
-(** Scalar-operand variants of {!emit} for the schedulers' hot loops.
-    All arguments are required labels — without flambda, an optional
-    argument boxes a [Some] at every call site.  The [deps] list is
-    retained as given (it is never mutated), so passing a shared list
-    is fine. *)
-
-val emit_mvm :
-  t ->
-  core:int ->
-  deps:int list ->
-  node:Nnir.Node.id ->
-  ag:int ->
-  windows:int ->
-  xbars:int ->
-  input_bytes:int ->
-  output_bytes:int ->
-  int
-
-val emit_vec :
-  t ->
-  core:int ->
-  deps:int list ->
-  node:Nnir.Node.id ->
-  kind:Isa.vec_kind ->
-  elements:int ->
-  int
-
-val emit_load :
-  t -> core:int -> deps:int list -> node:Nnir.Node.id -> bytes:int -> int
-
-val emit_store :
-  t -> core:int -> deps:int list -> node:Nnir.Node.id -> bytes:int -> int
-
 val alloc_buffer :
   t -> core:int -> bytes:int -> ?node:Nnir.Node.id -> Memalloc.request -> int list
 (** Requests a local buffer; returns the indices of any spill
     instructions emitted, to be added to dependent work. *)
-
-(** Scalar variants of {!alloc_buffer}, mirroring {!Memalloc}'s. *)
-
-val alloc_fresh :
-  t -> core:int -> bytes:int -> node:Nnir.Node.id -> int list
-
-val alloc_accumulator :
-  t -> core:int -> bytes:int -> node:Nnir.Node.id -> key:int -> int list
-
-val alloc_ag_slot :
-  t -> core:int -> bytes:int -> node:Nnir.Node.id -> key:int -> int list
 
 val free_buffer : t -> core:int -> bytes:int -> unit
 val free_accumulator : t -> core:int -> key:int -> unit

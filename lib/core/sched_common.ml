@@ -2,6 +2,22 @@
 
 let bpe = Nnir.Tensor.bytes_per_element
 
+(* The flat schedulers allocate in two bulk patterns: short-lived
+   dependency lists and delivery bookkeeping, and the final-program
+   instruction records that all survive.  Under the default 256k-word
+   nursery a large LL stream forces dozens of minor collections whose
+   survivors must be copied out; a nursery big enough to hold a whole
+   stream's emission removes almost all of that promotion churn
+   (measured: ~1.5-3x on the bench networks, both modes).  Grow-only
+   and sticky — a host that configured a larger nursery is left alone,
+   and repeated schedules don't thrash resizes. *)
+let bulk_nursery_words = 4 * 1024 * 1024
+
+let ensure_bulk_nursery () =
+  let g = Gc.get () in
+  if g.Gc.minor_heap_size < bulk_nursery_words then
+    Gc.set { g with Gc.minor_heap_size = bulk_nursery_words }
+
 (* Activation nodes whose producer is a weighted node are fused into the
    producer's accumulation epilogue (Algorithm 1, line 8).  Returns
    (kind per weighted node id, set of fused activation node ids). *)
@@ -71,11 +87,50 @@ let pipeline_depth (g : Nnir.Graph.t) =
 
 (* Output row geometry of any node: (rows, bytes per row). *)
 let row_geometry (node : Nnir.Node.t) =
-  let shape = Nnir.Node.output_shape node in
-  if Nnir.Tensor.is_chw shape then
-    ( Nnir.Tensor.height shape,
-      Nnir.Tensor.channels shape * Nnir.Tensor.width shape * bpe )
-  else (1, Nnir.Tensor.num_elements shape * bpe)
+  Nnir.Tensor.row_geometry (Nnir.Node.output_shape node)
+
+(* --- dense index spaces for the flat-array schedulers ----------------- *)
+
+(* Dense numbering of per-node streams: the [count id] items of node
+   [id] occupy the half-open range [base.(id), base.(id+1)), so a
+   (node, sequence) pair becomes the flat index base.(node) + seq.  This
+   is what lets the schedulers keep piece-delivery state in int arrays
+   instead of tuple-keyed hash tables. *)
+let stream_bases ~num_nodes count =
+  let base = Array.make (num_nodes + 1) 0 in
+  for id = 0 to num_nodes - 1 do
+    base.(id + 1) <- base.(id) + count id
+  done;
+  base
+
+(* Dense numbering of (consumer, provider) input edges: the slot of
+   input position [k] of node [id] is [slots.(id).(k)].  Duplicate
+   providers within one node's input list share a slot, so delivery
+   marks keyed per slot behave exactly like marks keyed per
+   (consumer, provider) pair.  Returns the per-node slot arrays and the
+   total slot count. *)
+let input_edge_slots (g : Nnir.Graph.t) =
+  let n = Nnir.Graph.num_nodes g in
+  let slots = Array.make n [||] in
+  let next = ref 0 in
+  for id = 0 to n - 1 do
+    let inputs = Array.of_list (Nnir.Node.inputs (Nnir.Graph.node g id)) in
+    let arr = Array.make (Array.length inputs) 0 in
+    for k = 0 to Array.length inputs - 1 do
+      let rec duplicate_of j =
+        if j >= k then -1
+        else if inputs.(j) = inputs.(k) then arr.(j)
+        else duplicate_of (j + 1)
+      in
+      match duplicate_of 0 with
+      | -1 ->
+          arr.(k) <- !next;
+          incr next
+      | slot -> arr.(k) <- slot
+    done;
+    slots.(id) <- arr
+  done;
+  (slots, !next)
 
 (* Per-output-row VFU work of a non-weighted node. *)
 let row_vec_elements (g : Nnir.Graph.t) (node : Nnir.Node.t) =

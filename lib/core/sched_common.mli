@@ -3,6 +3,11 @@
 val bpe : int
 (** Bytes per element (16-bit fixed point). *)
 
+val ensure_bulk_nursery : unit -> unit
+(** Grow the minor heap (grow-only, sticky) to fit a whole stream's
+    emission; called by the schedulers on entry.  See the comment in
+    the implementation for the measured rationale. *)
+
 val fused_activations :
   Nnir.Graph.t -> (Nnir.Node.id, Nnir.Op.activation_kind) Hashtbl.t
   * (Nnir.Node.id, unit) Hashtbl.t
@@ -26,6 +31,19 @@ val pipeline_depth : Nnir.Graph.t -> int
 
 val row_geometry : Nnir.Node.t -> int * int
 (** (output rows, bytes per output row). *)
+
+val stream_bases : num_nodes:int -> (int -> int) -> int array
+(** Dense numbering of per-node streams: with [base = stream_bases
+    ~num_nodes count], the [count id] items of node [id] occupy
+    [base.(id), base.(id+1)), so a (node, sequence) pair becomes the
+    flat index [base.(node) + seq].  Backbone of the flat-array
+    scheduler state. *)
+
+val input_edge_slots : Nnir.Graph.t -> int array array * int
+(** Dense numbering of (consumer, provider) input edges: the slot of
+    input position [k] of node [id] is [(fst r).(id).(k)]; duplicate
+    providers within one node share a slot.  [(snd r)] is the total slot
+    count. *)
 
 val row_vec_elements : Nnir.Graph.t -> Nnir.Node.t -> int
 (** Per-output-row VFU work of a non-weighted node. *)

@@ -1,4 +1,9 @@
-(* High-Throughput dataflow scheduling — Algorithm 1 of the paper.
+(* Reference High-Throughput scheduler: the original Hashtbl-based
+   implementation, kept verbatim for differential testing of the dense
+   flat-array scheduler in Schedule_ht (the Engine/Engine_ref pattern).
+   Schedule_ht must produce bit-identical Isa.t programs.
+
+   High-Throughput dataflow scheduling — Algorithm 1 of the paper.
 
    The inter-layer pipeline granularity is a whole inference: once the
    pipeline is full, each layer processes data of a different inference,
@@ -13,23 +18,23 @@
    operations are distributed round-robin across cores (line 10),
    streaming row by row through local memory. *)
 
-type options = { mvms_per_transfer : int; strategy : Memalloc.strategy }
+type options = Schedule_ht.options = {
+  mvms_per_transfer : int;
+  strategy : Memalloc.strategy;
+}
 
-let default_options = { mvms_per_transfer = 2; strategy = Memalloc.Ag_reuse }
+let default_options = Schedule_ht.default_options
 
 let schedule ?(options = default_options) (layout : Layout.t) : Isa.t =
-  Sched_common.ensure_bulk_nursery ();
   let g = layout.Layout.graph in
   let config = Partition.table_config layout.Layout.table in
   let pb =
-    Prog_builder.create ~core_count:layout.Layout.core_count
+    Prog_builder_ref.create ~core_count:layout.Layout.core_count
       ~strategy:options.strategy
       ~capacity:(Some config.Pimhw.Config.local_memory_bytes)
   in
   let fused_kind, fused_set = Sched_common.fused_activations g in
-  (* global ag -> last instr idx (MVMs on one AG serialise); AG ids are
-     dense, so a flat array replaces the tuple-free hashtable. *)
-  let prev_mvm = Array.make (max 1 layout.Layout.num_ags) (-1) in
+  let prev_mvm = Hashtbl.create 1024 in (* global ag -> last instr idx *)
   let acc_key = ref 0 in
   (* ---- weighted nodes (lines 1-9 of Algorithm 1) ---- *)
   Array.iter
@@ -38,10 +43,6 @@ let schedule ?(options = default_options) (layout : Layout.t) : Isa.t =
       let node_id = info.Partition.node_id in
       let fresh_bytes = Sched_common.fresh_input_bytes_per_window g info in
       let out_bytes_per_window = info.Partition.output_bytes_per_window in
-      let per_ag_in_bytes =
-        Sched_common.slice_bytes ~total_bytes:fresh_bytes ~ags_on_core:1
-          ~ags_per_replica:info.Partition.ags_per_replica
-      in
       Array.iter
         (fun (r : Layout.replica) ->
           let windows = r.Layout.window_hi - r.Layout.window_lo in
@@ -72,12 +73,12 @@ let schedule ?(options = default_options) (layout : Layout.t) : Isa.t =
                         ~ags_per_replica:info.Partition.ags_per_replica
                     in
                     let spill_deps =
-                      Prog_builder.alloc_fresh pb ~core ~bytes:in_bytes
-                        ~node:node_id
+                      Prog_builder_ref.alloc_buffer pb ~core ~bytes:in_bytes
+                        ~node:node_id Memalloc.Fresh
                     in
                     let load =
-                      Prog_builder.emit_load pb ~core ~deps:spill_deps
-                        ~node:node_id ~bytes:in_bytes
+                      Prog_builder_ref.emit pb ~core ~deps:spill_deps ~node:node_id
+                        (Isa.Load { bytes = in_bytes })
                     in
                     let mvm_idxs =
                       List.map
@@ -85,21 +86,30 @@ let schedule ?(options = default_options) (layout : Layout.t) : Isa.t =
                           let deps =
                             load
                             ::
-                            (if prev_mvm.(ag) >= 0 then [ prev_mvm.(ag) ]
-                             else [])
+                            (match Hashtbl.find_opt prev_mvm ag with
+                            | Some i -> [ i ]
+                            | None -> [])
                           in
                           ignore
-                            (Prog_builder.alloc_ag_slot pb ~core
+                            (Prog_builder_ref.alloc_buffer pb ~core
                                ~bytes:(out_bytes_per_window * batch_windows)
-                               ~node:node_id ~key:ag);
+                               ~node:node_id (Memalloc.Ag_slot ag));
                           let idx =
-                            Prog_builder.emit_mvm pb ~core ~deps ~node:node_id
-                              ~ag ~windows:batch_windows
-                              ~xbars:layout.Layout.ag_xbars.(ag)
-                              ~input_bytes:per_ag_in_bytes
-                              ~output_bytes:out_bytes_per_window
+                            Prog_builder_ref.emit pb ~core ~deps ~node:node_id
+                              (Isa.Mvm
+                                 {
+                                   ag;
+                                   windows = batch_windows;
+                                   xbars = layout.Layout.ag_xbars.(ag);
+                                   input_bytes =
+                                     Sched_common.slice_bytes
+                                       ~total_bytes:fresh_bytes ~ags_on_core:1
+                                       ~ags_per_replica:
+                                         info.Partition.ags_per_replica;
+                                   output_bytes = out_bytes_per_window;
+                                 })
                           in
-                          prev_mvm.(ag) <- idx;
+                          Hashtbl.replace prev_mvm ag idx;
                           idx)
                         ags
                     in
@@ -107,18 +117,22 @@ let schedule ?(options = default_options) (layout : Layout.t) : Isa.t =
                     let last =
                       if ags_on_core > 1 then begin
                         ignore
-                          (Prog_builder.alloc_accumulator pb ~core
+                          (Prog_builder_ref.alloc_buffer pb ~core
                              ~bytes:(out_bytes_per_window * batch_windows)
-                             ~node:node_id ~key:replica_acc_key);
-                        Prog_builder.emit_vec pb ~core ~deps:mvm_idxs
-                          ~node:node_id ~kind:Isa.Vadd
-                          ~elements:
-                            (info.Partition.out_channels * batch_windows
-                            * (ags_on_core - 1))
+                             ~node:node_id
+                             (Memalloc.Accumulator replica_acc_key));
+                        Prog_builder_ref.emit pb ~core ~deps:mvm_idxs ~node:node_id
+                          (Isa.Vec
+                             {
+                               kind = Isa.Vadd;
+                               elements =
+                                 info.Partition.out_channels * batch_windows
+                                 * (ags_on_core - 1);
+                             })
                       end
                       else List.hd mvm_idxs
                     in
-                    Prog_builder.free_buffer pb ~core ~bytes:in_bytes;
+                    Prog_builder_ref.free_buffer pb ~core ~bytes:in_bytes;
                     (core, last))
                   groups
               in
@@ -131,16 +145,21 @@ let schedule ?(options = default_options) (layout : Layout.t) : Isa.t =
                   else begin
                     let bytes = out_bytes_per_window * batch_windows in
                     ignore
-                      (Prog_builder.alloc_accumulator pb ~core:head ~bytes
-                         ~node:node_id ~key:replica_acc_key);
+                      (Prog_builder_ref.alloc_buffer pb ~core:head ~bytes
+                         ~node:node_id (Memalloc.Accumulator replica_acc_key));
                     let recv =
-                      Prog_builder.send_recv pb ~src:core ~dst:head ~bytes
+                      Prog_builder_ref.send_recv pb ~src:core ~dst:head ~bytes
                         ~node:node_id ~src_deps:[ last ] ~dst_deps:[] ()
                     in
                     let add =
-                      Prog_builder.emit_vec pb ~core:head ~deps:[ recv ]
-                        ~node:node_id ~kind:Isa.Vadd
-                        ~elements:(info.Partition.out_channels * batch_windows)
+                      Prog_builder_ref.emit pb ~core:head ~deps:[ recv ]
+                        ~node:node_id
+                        (Isa.Vec
+                           {
+                             kind = Isa.Vadd;
+                             elements =
+                               info.Partition.out_channels * batch_windows;
+                           })
                     in
                     head_deps := add :: !head_deps
                   end)
@@ -151,16 +170,22 @@ let schedule ?(options = default_options) (layout : Layout.t) : Isa.t =
                 match Hashtbl.find_opt fused_kind node_id with
                 | Some kind ->
                     [
-                      Prog_builder.emit_vec pb ~core:head ~deps:after_acc
-                        ~node:node_id ~kind:(Isa.Vact kind)
-                        ~elements:(info.Partition.out_channels * batch_windows);
+                      Prog_builder_ref.emit pb ~core:head ~deps:after_acc
+                        ~node:node_id
+                        (Isa.Vec
+                           {
+                             kind = Isa.Vact kind;
+                             elements =
+                               info.Partition.out_channels * batch_windows;
+                           });
                     ]
                 | None -> after_acc
               in
               ignore
-                (Prog_builder.emit_store pb ~core:head ~deps:act_dep
-                   ~node:node_id ~bytes:(out_bytes_per_window * batch_windows));
-              Prog_builder.free_accumulator pb ~core:head ~key:replica_acc_key
+                (Prog_builder_ref.emit pb ~core:head ~deps:act_dep ~node:node_id
+                   (Isa.Store
+                      { bytes = out_bytes_per_window * batch_windows }));
+              Prog_builder_ref.free_accumulator pb ~core:head ~key:replica_acc_key
             done
           end)
         nl.Layout.replicas)
@@ -192,24 +217,24 @@ let schedule ?(options = default_options) (layout : Layout.t) : Isa.t =
           let core = !next_core in
           next_core := (core + 1) mod layout.Layout.core_count;
           ignore
-            (Prog_builder.alloc_ag_slot pb ~core ~bytes:in_row_bytes ~node:id
-               ~key:(1_000_000 + id));
+            (Prog_builder_ref.alloc_buffer pb ~core ~bytes:in_row_bytes ~node:id
+               (Memalloc.Ag_slot (1_000_000 + id)));
           let load =
-            Prog_builder.emit_load pb ~core ~deps:[] ~node:id
-              ~bytes:in_row_bytes
+            Prog_builder_ref.emit pb ~core ~node:id
+              (Isa.Load { bytes = in_row_bytes })
           in
           let vec =
-            Prog_builder.emit_vec pb ~core ~deps:[ load ] ~node:id
-              ~kind:Isa.Vpool ~elements:vec_per_row
+            Prog_builder_ref.emit pb ~core ~deps:[ load ] ~node:id
+              (Isa.Vec { kind = Isa.Vpool; elements = vec_per_row })
           in
           ignore
-            (Prog_builder.emit_store pb ~core ~deps:[ vec ] ~node:id
-               ~bytes:row_bytes);
-          Prog_builder.free_buffer pb ~core ~bytes:in_row_bytes
+            (Prog_builder_ref.emit pb ~core ~deps:[ vec ] ~node:id
+               (Isa.Store { bytes = row_bytes }));
+          Prog_builder_ref.free_buffer pb ~core ~bytes:in_row_bytes
         done
       end)
     g;
-  Prog_builder.finish pb ~graph_name:(Nnir.Graph.name g)
+  Prog_builder_ref.finish pb ~graph_name:(Nnir.Graph.name g)
     ~mode:Mode.High_throughput ~strategy:options.strategy
     ~ag_core:layout.Layout.ag_core ~ag_xbars:layout.Layout.ag_xbars
     ~pipeline_depth:(Sched_common.pipeline_depth g)

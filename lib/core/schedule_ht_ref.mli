@@ -1,0 +1,15 @@
+(** Reference High-Throughput scheduler: the original Hashtbl-based
+    implementation, kept for differential testing.  {!Schedule_ht} (the
+    dense flat-array scheduler) must produce a bit-identical {!Isa.t} —
+    instructions, deps, rendezvous tags and memory trace — for every
+    layout and allocator strategy. *)
+
+type options = Schedule_ht.options = {
+  mvms_per_transfer : int;
+  strategy : Memalloc.strategy;
+}
+
+val default_options : options
+
+val schedule : ?options:options -> Layout.t -> Isa.t
+(** Same contract as {!Schedule_ht.schedule}. *)

@@ -1,4 +1,9 @@
-(* Low-Latency dataflow scheduling (Section IV-D2).
+(* Reference Low-Latency scheduler: the original tuple-keyed-Hashtbl
+   implementation, kept verbatim for differential testing of the dense
+   flat-array scheduler in Schedule_ll (the Engine/Engine_ref pattern).
+   Schedule_ll must produce bit-identical Isa.t programs.
+
+   Low-Latency dataflow scheduling (Section IV-D2).
 
    The inter-layer pipeline granularity is a row chunk ("piece"): each
    output row is cut into [row_chunks] column chunks, and as soon as a
@@ -24,20 +29,14 @@
    divided across the replica head cores of their nearest weighted
    ancestor.  Network inputs are loaded from global memory on demand;
    terminal outputs are stored back; everything in between stays on
-   chip.
+   chip. *)
 
-   Hot state lives on dense integer index spaces instead of tuple-keyed
-   hash tables: pieces are numbered globally by per-node prefix-sum
-   bases ({!Sched_common.stream_bases}), so (node, s) and (node, s,
-   core) keys become flat int-array indices, and per-(consumer,
-   provider, core) delivery marks index a dense input-edge numbering
-   ({!Sched_common.input_edge_slots}).  {!Schedule_ll_ref} keeps the
-   original hashtable formulation; the two must produce bit-identical
-   programs. *)
+type options = Schedule_ll.options = {
+  strategy : Memalloc.strategy;
+  row_chunks : int;
+}
 
-type options = { strategy : Memalloc.strategy; row_chunks : int }
-
-let default_options = { strategy = Memalloc.Ag_reuse; row_chunks = 4 }
+let default_options = Schedule_ll.default_options
 
 (* Ring depth (in pieces) for delivered staging buffers under AG-reuse. *)
 let ring_depth = 32
@@ -76,19 +75,17 @@ let geom ~row_chunks ~replication (node : Nnir.Node.t) =
     { rows = 1; cols = 1; chunks = 1; piece_bytes = row_bytes; row_bytes }
 
 let schedule ?(options = default_options) (layout : Layout.t) : Isa.t =
-  Sched_common.ensure_bulk_nursery ();
   let g = layout.Layout.graph in
-  let core_count = layout.Layout.core_count in
   let pb =
-    Prog_builder.create ~core_count ~strategy:options.strategy ~capacity:None
+    Prog_builder_ref.create ~core_count:layout.Layout.core_count
+      ~strategy:options.strategy ~capacity:None
   in
   let fused_kind, fused_set = Sched_common.fused_activations g in
   let node_of id = Nnir.Graph.node g id in
-  let num_nodes = Nnir.Graph.num_nodes g in
   (* Replication driving each node's chunk count: its own for weighted
      nodes, the anchor ancestor's for VFU/data-movement ops. *)
   let repl_of =
-    Array.init num_nodes (fun id ->
+    Array.init (Nnir.Graph.num_nodes g) (fun id ->
         if Nnir.Node.is_weighted (node_of id) then
           Layout.replication_by_id layout id
         else
@@ -99,7 +96,7 @@ let schedule ?(options = default_options) (layout : Layout.t) : Isa.t =
                 (fun acc a -> max acc (Layout.replication_by_id layout a))
                 1 ancestors)
   in
-  let geom_of = Array.init num_nodes (fun id ->
+  let geom_of = Array.init (Nnir.Graph.num_nodes g) (fun id ->
       geom ~row_chunks:options.row_chunks ~replication:repl_of.(id)
         (node_of id))
   in
@@ -108,84 +105,64 @@ let schedule ?(options = default_options) (layout : Layout.t) : Isa.t =
   let owner_replica ~chunks ~replication j =
     min (replication - 1) (j * replication / max 1 chunks)
   in
-  (* Global piece numbering: piece s of node [id] (1-based) is flat index
-     piece_base.(id) + s - 1, so every per-piece table below is a dense
-     int array. *)
-  let piece_base =
-    Sched_common.stream_bases ~num_nodes (fun id ->
-        geom_of.(id).rows * geom_of.(id).chunks)
-  in
-  let num_pieces = piece_base.(num_nodes) in
-  let pid ~node ~s = piece_base.(node) + s - 1 in
-  (* piece -> producing (core, instr index); -1 = not yet produced *)
-  let piece_src_core = Array.make num_pieces (-1) in
-  let piece_src_idx = Array.make num_pieces (-1) in
-  (* (core, piece) -> delivery instr index on that core; -1 = absent.
-     Core-major so that [require]'s sequence loop walks consecutive
-     cells. *)
-  let avail = Array.make (num_pieces * core_count) (-1) in
-  (* (input-edge slot, core) -> last seq depended on *)
-  let edge_slots, num_edges = Sched_common.input_edge_slots g in
-  let dep_mark = Array.make (max 1 (num_edges * core_count)) 0 in
-  (* AG -> index of its previous MVM (MVMs on one AG serialise) *)
-  let prev_mvm = Array.make (max 1 layout.Layout.num_ags) (-1) in
+  (* (node id, piece seq) -> producing (core, instr index) *)
+  let piece_src : (int * int, int * int) Hashtbl.t = Hashtbl.create 8192 in
+  (* (provider id, seq, core) -> delivery instr index on that core *)
+  let avail : (int * int * int, int) Hashtbl.t = Hashtbl.create 8192 in
+  (* (consumer id, provider id, core) -> last seq depended on *)
+  let dep_mark : (int * int * int, int) Hashtbl.t = Hashtbl.create 4096 in
+  let prev_mvm = Hashtbl.create 1024 in
   let acc_key = ref 0 in
   (* Deliver provider piece [s] to [core]. *)
   let deliver ~provider ~s ~core =
-    let p = pid ~node:provider ~s in
-    let a = (core * num_pieces) + p in
-    let cached = avail.(a) in
-    if cached >= 0 then cached
-    else begin
-      let bytes = geom_of.(provider).piece_bytes in
-      let ring_key =
-        (provider * 4096) + (core * ring_depth) + (s mod ring_depth)
-      in
-      let idx =
-        if Nnir.Op.is_input (Nnir.Node.op (node_of provider)) then begin
-          ignore
-            (Prog_builder.alloc_ag_slot pb ~core ~bytes ~node:provider
-               ~key:ring_key);
-          Prog_builder.emit_load pb ~core ~deps:[] ~node:provider ~bytes
-        end
-        else begin
-          let p_core = piece_src_core.(p) in
-          if p_core < 0 then
-            invalid_arg
-              (Fmt.str "Schedule_ll: piece %d of node %d not yet produced" s
-                 provider);
-          if p_core = core then piece_src_idx.(p)
-          else begin
+    match Hashtbl.find_opt avail (provider, s, core) with
+    | Some idx -> idx
+    | None ->
+        let bytes = geom_of.(provider).piece_bytes in
+        let ring_key =
+          (provider * 4096) + (core * ring_depth) + (s mod ring_depth)
+        in
+        let idx =
+          if Nnir.Op.is_input (Nnir.Node.op (node_of provider)) then begin
             ignore
-              (Prog_builder.alloc_ag_slot pb ~core ~bytes ~node:provider
-                 ~key:ring_key);
-            Prog_builder.send_recv pb ~src:p_core ~dst:core ~bytes
-              ~node:provider ~src_deps:[ piece_src_idx.(p) ] ~dst_deps:[] ()
+              (Prog_builder_ref.alloc_buffer pb ~core ~bytes ~node:provider
+                 (Memalloc.Ag_slot ring_key));
+            Prog_builder_ref.emit pb ~core ~node:provider (Isa.Load { bytes })
           end
-        end
-      in
-      avail.(a) <- idx;
-      idx
-    end
+          else begin
+            let p_core, p_idx =
+              match Hashtbl.find_opt piece_src (provider, s) with
+              | Some v -> v
+              | None ->
+                  invalid_arg
+                    (Fmt.str
+                       "Schedule_ll: piece %d of node %d not yet produced" s
+                       provider)
+            in
+            if p_core = core then p_idx
+            else begin
+              ignore
+                (Prog_builder_ref.alloc_buffer pb ~core ~bytes ~node:provider
+                   (Memalloc.Ag_slot ring_key));
+              Prog_builder_ref.send_recv pb ~src:p_core ~dst:core ~bytes
+                ~node:provider ~src_deps:[ p_idx ] ~dst_deps:[] ()
+            end
+          end
+        in
+        Hashtbl.replace avail (provider, s, core) idx;
+        idx
   in
-  (* Dependencies at [core] on provider pieces up to sequence number
-     [upto]; [edge] is the dense (consumer, provider) slot. *)
-  let require ~edge ~provider ~upto ~core =
-    let m = (edge * core_count) + core in
-    let from = dep_mark.(m) + 1 in
-    (* Deliveries must be emitted in ascending order; the dep list is
-       then rebuilt backwards from the (now warm) cache, so the list
-       comes out in order without a [List.rev] copy. *)
-    for s = from to upto do
-      ignore (deliver ~provider ~s ~core : int)
-    done;
+  (* Dependencies for [consumer] at [core] on provider pieces up to
+     sequence number [upto]. *)
+  let require ~consumer ~provider ~upto ~core =
+    let key = (consumer, provider, core) in
+    let from = (try Hashtbl.find dep_mark key with Not_found -> 0) + 1 in
     let deps = ref [] in
-    let base = (core * num_pieces) + piece_base.(provider) - 1 in
-    for s = upto downto from do
-      deps := avail.(base + s) :: !deps
+    for s = from to upto do
+      deps := deliver ~provider ~s ~core :: !deps
     done;
-    if upto >= from then dep_mark.(m) <- upto;
-    !deps
+    if upto >= from then Hashtbl.replace dep_mark key upto;
+    List.rev !deps
   in
   (* Last provider sequence number needed for piece (row r, chunk j) of a
      node applying [op]: all chunks of rows < r_d, plus chunks of row r_d
@@ -212,18 +189,10 @@ let schedule ?(options = default_options) (layout : Layout.t) : Isa.t =
       else if Hashtbl.mem fused_set id then begin
         (* fused into the producer: pieces alias the producer's pieces *)
         let producer = List.hd inputs in
-        let producer_pieces =
-          piece_base.(producer + 1) - piece_base.(producer)
-        in
         for s = 1 to og.rows * og.chunks do
-          if s <= producer_pieces then begin
-            let src = pid ~node:producer ~s in
-            if piece_src_core.(src) >= 0 then begin
-              let dst = pid ~node:id ~s in
-              piece_src_core.(dst) <- piece_src_core.(src);
-              piece_src_idx.(dst) <- piece_src_idx.(src)
-            end
-          end
+          match Hashtbl.find_opt piece_src (producer, s) with
+          | Some v -> Hashtbl.replace piece_src (id, s) v
+          | None -> ()
         done
       end
       else if Nnir.Node.is_weighted node then begin
@@ -234,26 +203,13 @@ let schedule ?(options = default_options) (layout : Layout.t) : Isa.t =
         in
         let info = nl.Layout.info in
         let provider = List.hd inputs in
-        let edge = edge_slots.(id).(0) in
-        (* Per-replica AG grouping and per-window byte counts are loop
-           invariants: hoist them out of the piece loops (the reference
-           recomputes both per piece, Hashtbl and sort included). *)
-        let groups_of =
-          Array.map
-            (fun replica -> (replica, Layout.ags_by_core replica))
-            nl.Layout.replicas
-        in
-        let mvm_input_bytes =
-          Sched_common.fresh_input_bytes_per_window g info
-          / max 1 info.Partition.ags_per_replica
-        in
-        let out_channels = info.Partition.out_channels in
         for r = 1 to og.rows do
           for j = 0 to og.chunks - 1 do
-            let replica, groups =
-              groups_of.(owner_replica ~chunks:og.chunks
-                           ~replication:nl.Layout.replication j)
+            let replica =
+              nl.Layout.replicas.(owner_replica ~chunks:og.chunks
+                                    ~replication:nl.Layout.replication j)
             in
+            let groups = Layout.ags_by_core replica in
             let windows =
               (((j + 1) * og.cols) / og.chunks) - (j * og.cols / og.chunks)
             in
@@ -262,43 +218,62 @@ let schedule ?(options = default_options) (layout : Layout.t) : Isa.t =
               incr acc_key;
               let piece_acc = !acc_key in
               let piece_out_bytes =
-                windows * out_channels * Sched_common.bpe
+                windows * info.Partition.out_channels * Sched_common.bpe
               in
               let partials =
                 List.map
                   (fun (core, ags) ->
-                    let piece_deps = require ~edge ~provider ~upto ~core in
+                    let piece_deps =
+                      require ~consumer:id ~provider ~upto ~core
+                    in
                     let mvm_idxs =
                       List.map
                         (fun ag ->
                           let deps =
                             piece_deps
                             @
-                            if prev_mvm.(ag) >= 0 then [ prev_mvm.(ag) ]
-                            else []
+                            match Hashtbl.find_opt prev_mvm ag with
+                            | Some i -> [ i ]
+                            | None -> []
                           in
                           ignore
-                            (Prog_builder.alloc_ag_slot pb ~core
-                               ~bytes:piece_out_bytes ~node:id ~key:ag);
+                            (Prog_builder_ref.alloc_buffer pb ~core
+                               ~bytes:piece_out_bytes ~node:id
+                               (Memalloc.Ag_slot ag));
                           let idx =
-                            Prog_builder.emit_mvm pb ~core ~deps ~node:id ~ag
-                              ~windows ~xbars:layout.Layout.ag_xbars.(ag)
-                              ~input_bytes:mvm_input_bytes
-                              ~output_bytes:(out_channels * Sched_common.bpe)
+                            Prog_builder_ref.emit pb ~core ~deps ~node:id
+                              (Isa.Mvm
+                                 {
+                                   ag;
+                                   windows;
+                                   xbars = layout.Layout.ag_xbars.(ag);
+                                   input_bytes =
+                                     Sched_common.fresh_input_bytes_per_window
+                                       g info
+                                     / max 1 info.Partition.ags_per_replica;
+                                   output_bytes =
+                                     info.Partition.out_channels
+                                     * Sched_common.bpe;
+                                 })
                           in
-                          prev_mvm.(ag) <- idx;
+                          Hashtbl.replace prev_mvm ag idx;
                           idx)
                         ags
                     in
                     let last =
                       if List.length ags > 1 then begin
                         ignore
-                          (Prog_builder.alloc_accumulator pb ~core
-                             ~bytes:piece_out_bytes ~node:id ~key:piece_acc);
-                        Prog_builder.emit_vec pb ~core ~deps:mvm_idxs
-                          ~node:id ~kind:Isa.Vadd
-                          ~elements:
-                            (out_channels * windows * (List.length ags - 1))
+                          (Prog_builder_ref.alloc_buffer pb ~core
+                             ~bytes:piece_out_bytes ~node:id
+                             (Memalloc.Accumulator piece_acc));
+                        Prog_builder_ref.emit pb ~core ~deps:mvm_idxs ~node:id
+                          (Isa.Vec
+                             {
+                               kind = Isa.Vadd;
+                               elements =
+                                 info.Partition.out_channels * windows
+                                 * (List.length ags - 1);
+                             })
                       end
                       else List.hd mvm_idxs
                     in
@@ -312,17 +287,21 @@ let schedule ?(options = default_options) (layout : Layout.t) : Isa.t =
                   if core = head then head_deps := last :: !head_deps
                   else begin
                     ignore
-                      (Prog_builder.alloc_accumulator pb ~core:head
-                         ~bytes:piece_out_bytes ~node:id ~key:piece_acc);
+                      (Prog_builder_ref.alloc_buffer pb ~core:head
+                         ~bytes:piece_out_bytes ~node:id
+                         (Memalloc.Accumulator piece_acc));
                     let recv =
-                      Prog_builder.send_recv pb ~src:core ~dst:head
+                      Prog_builder_ref.send_recv pb ~src:core ~dst:head
                         ~bytes:piece_out_bytes ~node:id ~src_deps:[ last ]
                         ~dst_deps:[] ()
                     in
                     let add =
-                      Prog_builder.emit_vec pb ~core:head ~deps:[ recv ]
-                        ~node:id ~kind:Isa.Vadd
-                        ~elements:(out_channels * windows)
+                      Prog_builder_ref.emit pb ~core:head ~deps:[ recv ] ~node:id
+                        (Isa.Vec
+                           {
+                             kind = Isa.Vadd;
+                             elements = info.Partition.out_channels * windows;
+                           })
                     in
                     head_deps := add :: !head_deps
                   end)
@@ -330,25 +309,26 @@ let schedule ?(options = default_options) (layout : Layout.t) : Isa.t =
               let produced =
                 match Hashtbl.find_opt fused_kind id with
                 | Some kind ->
-                    Prog_builder.emit_vec pb ~core:head ~deps:!head_deps
-                      ~node:id ~kind:(Isa.Vact kind)
-                      ~elements:(out_channels * windows)
+                    Prog_builder_ref.emit pb ~core:head ~deps:!head_deps ~node:id
+                      (Isa.Vec
+                         {
+                           kind = Isa.Vact kind;
+                           elements = info.Partition.out_channels * windows;
+                         })
                 | None -> (
                     match !head_deps with
                     | [ single ] -> single
                     | deps ->
-                        Prog_builder.emit_vec pb ~core:head ~deps ~node:id
-                          ~kind:Isa.Vmove ~elements:1)
+                        Prog_builder_ref.emit pb ~core:head ~deps ~node:id
+                          (Isa.Vec { kind = Isa.Vmove; elements = 1 }))
               in
-              Prog_builder.free_accumulator pb ~core:head ~key:piece_acc;
+              Prog_builder_ref.free_accumulator pb ~core:head ~key:piece_acc;
               let s = ((r - 1) * og.chunks) + j + 1 in
-              let p = pid ~node:id ~s in
-              piece_src_core.(p) <- head;
-              piece_src_idx.(p) <- produced;
+              Hashtbl.replace piece_src (id, s) (head, produced);
               if is_output then
                 ignore
-                  (Prog_builder.emit_store pb ~core:head ~deps:[ produced ]
-                     ~node:id ~bytes:piece_out_bytes)
+                  (Prog_builder_ref.emit pb ~core:head ~deps:[ produced ] ~node:id
+                     (Isa.Store { bytes = piece_out_bytes }))
             end
           done
         done
@@ -380,7 +360,6 @@ let schedule ?(options = default_options) (layout : Layout.t) : Isa.t =
           | Nnir.Op.Input _ | Nnir.Op.Conv _ | Nnir.Op.Fully_connected _ ->
               Isa.Vmove
         in
-        let slots = edge_slots.(id) in
         for r = 1 to og.rows do
           for j = 0 to og.chunks - 1 do
             let core =
@@ -391,41 +370,42 @@ let schedule ?(options = default_options) (layout : Layout.t) : Isa.t =
                       ~replication:nl.Layout.replication j
                   in
                   nl.Layout.replicas.(replica).Layout.head_core
-              | None -> ((r - 1) + j) mod core_count
+              | None -> ((r - 1) + j) mod layout.Layout.core_count
             in
             let deps =
-              List.concat
-                (List.mapi
-                   (fun k provider ->
-                     let upto = needed ~op ~provider ~out_geom:og ~r ~j in
-                     require ~edge:slots.(k) ~provider ~upto ~core)
-                   inputs)
+              List.concat_map
+                (fun provider ->
+                  let upto = needed ~op ~provider ~out_geom:og ~r ~j in
+                  require ~consumer:id ~provider ~upto ~core)
+                inputs
             in
             ignore
-              (Prog_builder.alloc_ag_slot pb ~core ~bytes:og.piece_bytes
+              (Prog_builder_ref.alloc_buffer pb ~core ~bytes:og.piece_bytes
                  ~node:id
-                 ~key:
-                   ((id * 4096) + (core * ring_depth)
-                   + (((r * og.chunks) + j) mod ring_depth)));
+                 (Memalloc.Ag_slot
+                    ((id * 4096) + (core * ring_depth)
+                    + (((r * og.chunks) + j) mod ring_depth))));
             let idx =
-              Prog_builder.emit_vec pb ~core ~deps ~node:id ~kind:vec_kind
-                ~elements:(Partition.ceil_div vec_per_row og.chunks)
+              Prog_builder_ref.emit pb ~core ~deps ~node:id
+                (Isa.Vec
+                   {
+                     kind = vec_kind;
+                     elements = Partition.ceil_div vec_per_row og.chunks;
+                   })
             in
             let s = ((r - 1) * og.chunks) + j + 1 in
-            let p = pid ~node:id ~s in
-            piece_src_core.(p) <- core;
-            piece_src_idx.(p) <- idx;
+            Hashtbl.replace piece_src (id, s) (core, idx);
             if is_output then
               ignore
-                (Prog_builder.emit_store pb ~core ~deps:[ idx ] ~node:id
-                   ~bytes:og.piece_bytes)
+                (Prog_builder_ref.emit pb ~core ~deps:[ idx ] ~node:id
+                   (Isa.Store { bytes = og.piece_bytes }))
           done
         done
       end)
     (Nnir.Graph.topo_order g);
   (* LL streams rows through all layers at once: a single inference's
      latency is the stream makespan itself. *)
-  Prog_builder.finish pb ~graph_name:(Nnir.Graph.name g)
+  Prog_builder_ref.finish pb ~graph_name:(Nnir.Graph.name g)
     ~mode:Mode.Low_latency ~strategy:options.strategy
     ~ag_core:layout.Layout.ag_core ~ag_xbars:layout.Layout.ag_xbars
     ~pipeline_depth:1

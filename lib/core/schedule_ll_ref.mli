@@ -1,0 +1,15 @@
+(** Reference Low-Latency scheduler: the original tuple-keyed-Hashtbl
+    implementation, kept for differential testing.  {!Schedule_ll} (the
+    dense flat-array scheduler) must produce a bit-identical {!Isa.t} —
+    instructions, deps, rendezvous tags and memory trace — for every
+    layout and allocator strategy. *)
+
+type options = Schedule_ll.options = {
+  strategy : Memalloc.strategy;
+  row_chunks : int;
+}
+
+val default_options : options
+
+val schedule : ?options:options -> Layout.t -> Isa.t
+(** Same contract as {!Schedule_ll.schedule}. *)

@@ -95,67 +95,77 @@ let structural ?graph (t : Isa.t) =
         let n = Nnir.Graph.num_nodes g in
         fun id -> id >= 0 && id < n
   in
+  (* [bad] takes core/idx as arguments rather than closing over them:
+     the alternative — a fresh closure per instruction — costs an
+     allocation on every instruction of a ~10^5-instruction stream
+     before anything is even checked. *)
+  let bad kind core idx fmt = Fmt.kstr (add acc kind ~core ~instr:idx) fmt in
   Array.iteri
     (fun core instrs ->
       Array.iteri
         (fun idx (i : Isa.instr) ->
-          let bad kind fmt =
-            Fmt.kstr (add acc kind ~core ~instr:idx) fmt
-          in
           List.iter
             (fun d ->
               if d < 0 || d >= idx then
-                bad Dep_out_of_range
+                bad Dep_out_of_range core idx
                   "dep %d out of range (must be in [0, %d))" d idx)
             i.Isa.deps;
           if i.Isa.node_id <> -1 && not (node_exists i.Isa.node_id) then
-            bad Unknown_node "node %d does not exist in the source graph"
-              i.Isa.node_id;
+            bad Unknown_node core idx
+              "node %d does not exist in the source graph" i.Isa.node_id;
           match i.Isa.op with
           | Isa.Mvm m ->
               if m.ag < 0 || m.ag >= num_ags then
-                bad Ag_out_of_range "MVM drives AG %d but the table has %d"
-                  m.ag num_ags
+                bad Ag_out_of_range core idx
+                  "MVM drives AG %d but the table has %d" m.ag num_ags
               else begin
                 if t.ag_core.(m.ag) <> core then
-                  bad Ag_foreign_core
+                  bad Ag_foreign_core core idx
                     "MVM drives AG %d which is mapped to core %d" m.ag
                     t.ag_core.(m.ag);
                 if m.ag < Array.length t.ag_xbars
                    && m.xbars <> t.ag_xbars.(m.ag) then
-                  bad Xbars_mismatch
+                  bad Xbars_mismatch core idx
                     "MVM claims %d crossbars but AG %d has %d" m.xbars m.ag
                     t.ag_xbars.(m.ag)
               end;
-              if m.windows < 0 then bad Bad_operand "negative windows %d" m.windows;
+              if m.windows < 0 then
+                bad Bad_operand core idx "negative windows %d" m.windows;
               if m.input_bytes < 0 || m.output_bytes < 0 then
-                bad Bad_operand "negative MVM byte count (%d in, %d out)"
-                  m.input_bytes m.output_bytes
+                bad Bad_operand core idx
+                  "negative MVM byte count (%d in, %d out)" m.input_bytes
+                  m.output_bytes
           | Isa.Vec v ->
               if v.elements < 0 then
-                bad Bad_operand "negative VEC elements %d" v.elements
+                bad Bad_operand core idx "negative VEC elements %d" v.elements
           | Isa.Load { bytes } ->
-              if bytes < 0 then bad Bad_operand "negative LOAD bytes %d" bytes
+              if bytes < 0 then
+                bad Bad_operand core idx "negative LOAD bytes %d" bytes
           | Isa.Store { bytes } ->
-              if bytes < 0 then bad Bad_operand "negative STORE bytes %d" bytes
+              if bytes < 0 then
+                bad Bad_operand core idx "negative STORE bytes %d" bytes
           | Isa.Send { dst; bytes; tag } ->
               if dst < 0 || dst >= t.core_count then
-                bad Endpoint_out_of_range "SEND to nonexistent core %d" dst
+                bad Endpoint_out_of_range core idx
+                  "SEND to nonexistent core %d" dst
               else if dst = core then
-                bad Endpoint_out_of_range "SEND to own core %d" dst;
-              if bytes < 0 then bad Bad_operand "negative SEND bytes %d" bytes;
+                bad Endpoint_out_of_range core idx "SEND to own core %d" dst;
+              if bytes < 0 then
+                bad Bad_operand core idx "negative SEND bytes %d" bytes;
               if tag < 0 || tag >= t.num_tags then
-                bad Tag_out_of_range "SEND tag %d outside [0, %d)" tag
-                  t.num_tags
+                bad Tag_out_of_range core idx "SEND tag %d outside [0, %d)"
+                  tag t.num_tags
           | Isa.Recv { src; bytes; tag } ->
               if src < 0 || src >= t.core_count then
-                bad Endpoint_out_of_range "RECV from nonexistent core %d" src
+                bad Endpoint_out_of_range core idx
+                  "RECV from nonexistent core %d" src
               else if src = core then
-                bad Endpoint_out_of_range "RECV from own core %d" src;
-              if bytes < 0 then bad Bad_operand "negative RECV bytes %d" bytes;
+                bad Endpoint_out_of_range core idx "RECV from own core %d" src;
+              if bytes < 0 then
+                bad Bad_operand core idx "negative RECV bytes %d" bytes;
               if tag < 0 || tag >= t.num_tags then
-                bad Tag_out_of_range "RECV tag %d outside [0, %d)" tag
-                  t.num_tags)
+                bad Tag_out_of_range core idx "RECV tag %d outside [0, %d)"
+                  tag t.num_tags)
         instrs)
     t.cores;
   List.rev !acc
@@ -191,24 +201,33 @@ let communication (t : Isa.t) =
   done;
   let n = base.(num_cores) in
   let gid core idx = base.(core) + idx in
-  let start = Array.make (n + 1) 0 in
-  let indeg = Array.make n 0 in
+  (* An instruction's predecessors in the stall graph are exactly its
+     own dep list (plus, for a paired RECV, its SEND), so the
+     topological sweep below runs on the REVERSE graph, reading dep
+     lists directly as reverse adjacency — no compressed-sparse-rows
+     materialisation on the clean path.  [outdeg] holds forward
+     out-degrees (= reverse in-degrees); [flat]/[core_of] give O(1)
+     instruction lookup by global id during the sweep. *)
+  let outdeg = Array.make n 0 in
+  let flat =
+    Array.make (max 1 n)
+      { Isa.op = Isa.Load { bytes = 0 }; deps = []; node_id = -1 }
+  in
+  let core_of = Array.make n 0 in
   Array.iteri
     (fun core instrs ->
       let len = Array.length instrs in
       Array.iteri
         (fun idx (i : Isa.instr) ->
+          flat.(gid core idx) <- i;
+          core_of.(gid core idx) <- core;
           List.iter
             (fun d ->
               (* in-range forward deps are a structural violation, but
                  they also stall the dataflow engine — feed them to the
                  cycle detector rather than silently dropping them *)
-              if d >= 0 && d < len && d <> idx then begin
-                start.(gid core d + 1) <- start.(gid core d + 1) + 1;
-                (* an instruction's in-edges are exactly its own valid
-                   deps, so in-degrees fill sequentially here *)
-                indeg.(gid core idx) <- indeg.(gid core idx) + 1
-              end)
+              if d >= 0 && d < len && d <> idx then
+                outdeg.(gid core d) <- outdeg.(gid core d) + 1)
             i.Isa.deps;
           match i.Isa.op with
           | Isa.Send { dst; bytes; tag } when tag >= 0 && tag < num_tags ->
@@ -266,50 +285,30 @@ let communication (t : Isa.t) =
      instruction runs once its intra-core deps have retired and, for a
      RECV, once the matching SEND's message has arrived; granted
      resources always complete.  So the program can stall if and only if
-     the union of dep edges and SEND->RECV edges has a cycle.  The graph
-     is built in compressed sparse rows (out-degrees were counted during
-     the sweep above, shifted by one row in [start]) and the topological
-     sweep uses an explicit int stack, so the clean path never allocates
-     per edge. *)
+     the union of dep edges and SEND->RECV edges has a cycle.  Kahn's
+     sweep runs on the reverse graph: a popped instruction's reverse
+     successors are its own deps plus (for a RECV) its paired SEND
+     ([pair_of]), so no adjacency structure is ever built on the clean
+     path and nothing allocates per edge. *)
+  let pair_of = Array.make n (-1) in
   for tag = 0 to num_tags - 1 do
     if paired.(tag) then begin
       let a = gid s_core.(tag) s_idx.(tag) in
-      start.(a + 1) <- start.(a + 1) + 1;
-      let b = gid r_core.(tag) r_idx.(tag) in
-      indeg.(b) <- indeg.(b) + 1
+      outdeg.(a) <- outdeg.(a) + 1;
+      pair_of.(gid r_core.(tag) r_idx.(tag)) <- a
     end
   done;
-  for id = 0 to n - 1 do
-    start.(id + 1) <- start.(id + 1) + start.(id)
-  done;
-  let succs = Array.make start.(n) 0 in
-  let cursor = Array.sub start 0 n in
-  let edge a b =
-    succs.(cursor.(a)) <- b;
-    cursor.(a) <- cursor.(a) + 1
-  in
-  Array.iteri
-    (fun core instrs ->
-      let len = Array.length instrs in
-      Array.iteri
-        (fun idx (i : Isa.instr) ->
-          List.iter
-            (fun d ->
-              if d >= 0 && d < len && d <> idx then
-                edge (gid core d) (gid core idx))
-            i.Isa.deps)
-        instrs)
-    t.cores;
-  for tag = 0 to num_tags - 1 do
-    if paired.(tag) then
-      edge (gid s_core.(tag) s_idx.(tag)) (gid r_core.(tag) r_idx.(tag))
-  done;
-  (* Kahn's sweep, consuming [indeg] in place: remaining in-degree 0
-     after the loop means the node was processed. *)
   let stack = Array.make (max 1 n) 0 in
   let sp = ref 0 in
+  let release p =
+    outdeg.(p) <- outdeg.(p) - 1;
+    if outdeg.(p) = 0 then begin
+      stack.(!sp) <- p;
+      incr sp
+    end
+  in
   for id = n - 1 downto 0 do
-    if indeg.(id) = 0 then begin
+    if outdeg.(id) = 0 then begin
       stack.(!sp) <- id;
       incr sp
     end
@@ -319,30 +318,51 @@ let communication (t : Isa.t) =
     decr sp;
     let id = stack.(!sp) in
     incr count;
-    for k = start.(id) to start.(id + 1) - 1 do
-      let s = succs.(k) in
-      indeg.(s) <- indeg.(s) - 1;
-      if indeg.(s) = 0 then begin
-        stack.(!sp) <- s;
-        incr sp
-      end
-    done
+    let b = base.(core_of.(id)) in
+    let len = base.(core_of.(id) + 1) - b in
+    let idx = id - b in
+    List.iter
+      (fun d -> if d >= 0 && d < len && d <> idx then release (b + d))
+      flat.(id).Isa.deps;
+    if pair_of.(id) >= 0 then release pair_of.(id)
   done;
   if !count < n then begin
-    (* every unprocessed node has an unprocessed predecessor, so walking
-       predecessors from any of them must close a cycle — report it.
-       The predecessor lists are only needed on this error path, so they
-       are reconstructed here rather than maintained during the
-       (overwhelmingly common) clean pass. *)
-    let preds = Array.make n [] in
-    for a = 0 to n - 1 do
-      for k = start.(a) to start.(a + 1) - 1 do
-        preds.(succs.(k)) <- a :: preds.(succs.(k))
+    (* remaining out-degree > 0 marks the stuck set; every stuck node
+       has a stuck forward successor, so walking successors from any of
+       them must close a cycle — report it.  Forward adjacency is only
+       needed here, so the compressed-sparse-rows build lives on this
+       (overwhelmingly rare) error path. *)
+    let start = Array.make (n + 1) 0 in
+    let each_edge f =
+      Array.iteri
+        (fun core instrs ->
+          let len = Array.length instrs in
+          Array.iteri
+            (fun idx (i : Isa.instr) ->
+              List.iter
+                (fun d ->
+                  if d >= 0 && d < len && d <> idx then
+                    f (gid core d) (gid core idx))
+                i.Isa.deps)
+            instrs)
+        t.cores;
+      for tag = 0 to num_tags - 1 do
+        if paired.(tag) then
+          f (gid s_core.(tag) s_idx.(tag)) (gid r_core.(tag) r_idx.(tag))
       done
+    in
+    each_edge (fun a _ -> start.(a + 1) <- start.(a + 1) + 1);
+    for id = 0 to n - 1 do
+      start.(id + 1) <- start.(id + 1) + start.(id)
     done;
-    let start = ref (-1) in
+    let succs = Array.make start.(n) 0 in
+    let cursor = Array.sub start 0 n in
+    each_edge (fun a b ->
+        succs.(cursor.(a)) <- b;
+        cursor.(a) <- cursor.(a) + 1);
+    let first = ref (-1) in
     for id = n - 1 downto 0 do
-      if indeg.(id) > 0 then start := id
+      if outdeg.(id) > 0 then first := id
     done;
     let seen = Hashtbl.create 16 in
     let rec walk id path =
@@ -356,20 +376,19 @@ let communication (t : Isa.t) =
           List.rev (cut path)
       | None ->
           Hashtbl.add seen id ();
-          let pred = List.find (fun p -> indeg.(p) > 0) preds.(id) in
-          walk pred (pred :: path)
+          let next = ref (-1) in
+          for k = start.(id) to start.(id + 1) - 1 do
+            if !next < 0 && outdeg.(succs.(k)) > 0 then next := succs.(k)
+          done;
+          walk !next (!next :: path)
     in
-    let cycle = walk !start [ !start ] in
-    let core_of id =
-      let c = ref 0 in
-      while base.(!c + 1) <= id do incr c done;
-      (!c, id - base.(!c))
-    in
+    let cycle = walk !first [ !first ] in
+    let core_idx_of id = (core_of.(id), id - base.(core_of.(id))) in
     let pp_node ppf id =
-      let c, i = core_of id in
+      let c, i = core_idx_of id in
       Fmt.pf ppf "core %d instr %d" c i
     in
-    let c0, i0 = core_of (List.hd cycle) in
+    let c0, i0 = core_idx_of (List.hd cycle) in
     add acc Rendezvous_deadlock ~core:c0 ~instr:i0
       (Fmt.str "dependency/rendezvous cycle: %a (%d instructions stuck)"
          Fmt.(list ~sep:(any " -> ") pp_node)

@@ -47,6 +47,13 @@ let features s =
    e.g. what a Flatten node feeding a fully connected layer produces. *)
 let flattened_features s = num_elements s
 
+(* Row-stream geometry: feature maps stream row by row (height rows of
+   channels * width elements); anything else is a single row.  This is
+   the piece-stream shape both dataflow schedulers chunk over. *)
+let row_geometry s =
+  if is_chw s then (s.(1), s.(0) * s.(2) * bytes_per_element)
+  else (1, num_elements s * bytes_per_element)
+
 let to_list = Array.to_list
 
 let of_list = Array.of_list

@@ -27,6 +27,12 @@ val width : shape -> int
 val features : shape -> int
 val flattened_features : shape -> int
 
+val row_geometry : shape -> int * int
+(** [(rows, bytes per row)] of the tensor's row stream: CHW shapes
+    stream [height] rows of [channels * width] elements; any other shape
+    is a single row of all its elements.  The piece-stream geometry both
+    dataflow schedulers chunk over. *)
+
 val to_list : shape -> int list
 val of_list : int list -> shape
 

@@ -1,0 +1,98 @@
+(* Compile.batch must be a drop-in for mapping Compile.compile over the
+   job list: the programs, chromosomes and fitness values have to be
+   bit-identical whatever the domain count.  Only the wall-clock
+   stage_seconds stamps may differ between runs. *)
+
+let hw = Pimhw.Config.puma_like
+
+let graph name = Nnir.Zoo.build ~input_size:(Nnir.Zoo.min_input_size name) name
+
+let options ?(seed = 7) mode strategy =
+  {
+    Pimcomp.Compile.default_options with
+    mode;
+    parallelism = 20;
+    seed;
+    strategy;
+  }
+
+let fast_ga =
+  Pimcomp.Compile.Genetic_algorithm
+    {
+      Pimcomp.Genetic.default_params with
+      population = 8;
+      iterations = 6;
+      patience = None;
+    }
+
+(* Networks × modes × strategies, kept small enough for a unit test but
+   covering both schedulers and both the heuristic and GA mappings. *)
+let work () =
+  [
+    (graph "tiny", options Pimcomp.Mode.High_throughput Pimcomp.Compile.Puma_like);
+    (graph "tiny", options Pimcomp.Mode.Low_latency fast_ga);
+    (graph "mlp", options Pimcomp.Mode.Low_latency Pimcomp.Compile.Puma_like);
+    (graph "mlp", options Pimcomp.Mode.High_throughput fast_ga);
+    (graph "lenet", options Pimcomp.Mode.Low_latency Pimcomp.Compile.Puma_like);
+  ]
+
+let essence (r : Pimcomp.Compile.t) =
+  (r.Pimcomp.Compile.program, r.Pimcomp.Compile.chromosome,
+   r.Pimcomp.Compile.fitness, r.Pimcomp.Compile.core_count)
+
+let check_same label xs ys =
+  Alcotest.(check int) (label ^ " result count") (List.length xs)
+    (List.length ys);
+  List.iter2
+    (fun (i, a) b ->
+      if essence a <> essence b then
+        Alcotest.failf "%s: job %d diverged" label i)
+    (List.mapi (fun i a -> (i, a)) xs)
+    ys
+
+let test_matches_sequential () =
+  let work = work () in
+  let seq =
+    List.map
+      (fun (g, options) -> Pimcomp.Compile.compile ~options hw g)
+      work
+  in
+  let batched = Pimcomp.Compile.batch ~jobs:1 hw work in
+  check_same "batch jobs=1 vs sequential compile" seq batched
+
+let test_domain_count_independent () =
+  let work = work () in
+  let base = Pimcomp.Compile.batch ~jobs:1 hw work in
+  List.iter
+    (fun jobs ->
+      let r = Pimcomp.Compile.batch ~jobs hw work in
+      check_same (Fmt.str "batch jobs=%d vs jobs=1" jobs) base r)
+    [ 2; 4 ]
+
+let test_verify_runs_in_batch () =
+  (* default_options has verify = true; a batch over a clean program
+     must not raise, and flipping a program to a broken options record
+     must surface the job's exception in the caller. *)
+  let g = graph "tiny" in
+  let good = options Pimcomp.Mode.Low_latency Pimcomp.Compile.Puma_like in
+  let rs = Pimcomp.Compile.batch ~jobs:2 hw [ (g, good); (g, good) ] in
+  Alcotest.(check int) "verified batch" 2 (List.length rs);
+  match
+    Pimcomp.Compile.batch ~jobs:2 hw [ (g, { good with parallelism = 0 }) ]
+  with
+  | _ -> Alcotest.fail "expected batch to re-raise the job's exception"
+  | exception Invalid_argument _ -> ()
+
+let () =
+  Alcotest.run "batch"
+    [
+      ( "compile-batch",
+        [
+          Alcotest.test_case "matches sequential" `Quick
+            test_matches_sequential;
+          Alcotest.test_case "independent of domain count" `Quick
+            test_domain_count_independent;
+          Alcotest.test_case "verify inside batch" `Quick
+            test_verify_runs_in_batch;
+        ] );
+    ]
