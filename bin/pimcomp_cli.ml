@@ -220,6 +220,45 @@ let wrap f = try Ok (f ()) with
   | Invalid_argument msg | Failure msg -> Error (`Msg msg)
   | Pimcomp.Chromosome.Infeasible msg -> Error (`Msg ("infeasible: " ^ msg))
   | Nnir.Graph.Invalid_graph msg -> Error (`Msg ("invalid graph: " ^ msg))
+  | Pimcomp.Artifact.Corrupt msg -> Error (`Msg ("corrupt artifact: " ^ msg))
+  | Pimcomp.Compile.Job_error { index; graph; exn } ->
+      Error
+        (`Msg
+           (Fmt.str "batch job %d (%s) failed: %s" index graph
+              (Printexc.to_string exn)))
+
+(* --- cache plumbing --------------------------------------------------------- *)
+
+let cache_dir_arg =
+  let doc =
+    "Content-addressed compile cache directory.  Programs are looked up \
+     by a digest of (graph, options, hardware) before compiling; hits \
+     are re-verified on load, so they are indistinguishable from fresh \
+     compiles."
+  in
+  Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"DIR" ~doc)
+
+let cache_max_mb_arg =
+  let doc =
+    "Cache size budget in MiB; least-recently-used entries are evicted \
+     when a store exceeds it (default: unbounded)."
+  in
+  Arg.(value & opt (some int) None & info [ "cache-max-mb" ] ~docv:"MB" ~doc)
+
+let open_cache dir max_mb =
+  Option.map
+    (fun dir ->
+      Pimcomp.Cache.open_dir
+        ?max_bytes:(Option.map (fun mb -> mb * 1024 * 1024) max_mb)
+        dir)
+    dir
+
+let pp_cache_stats ppf (s : Pimcomp.Cache.stats) =
+  Fmt.pf ppf
+    "entries %d  bytes %d  hits %d  misses %d  rejected %d  evictions %d"
+    s.Pimcomp.Cache.entries s.Pimcomp.Cache.bytes s.Pimcomp.Cache.hits
+    s.Pimcomp.Cache.misses s.Pimcomp.Cache.rejected
+    s.Pimcomp.Cache.evictions
 
 (* --- commands -------------------------------------------------------------- *)
 
@@ -254,7 +293,7 @@ let table1_cmd =
 let compile_term simulate =
   let run network input_size mode parallelism cores allocator strategy seed
       generations fast ga_islands ga_migration verbose simplify objective
-      verify emit_isa emit_trace =
+      verify emit_isa emit_trace cache_dir cache_max_mb =
     wrap (fun () ->
         let graph = load_network network input_size in
         let graph =
@@ -277,38 +316,52 @@ let compile_term simulate =
             ()
         in
         let hw = Pimhw.Config.puma_like in
-        let result = Pimcomp.Compile.compile ~options hw graph in
-        Fmt.pr "%a@." Pimcomp.Report.pp_summary result;
-        if verbose then begin
-          Fmt.pr "@.replication:@.%a@." Pimcomp.Report.pp_replication result;
-          Fmt.pr "@.mapping:@.%a@." Pimcomp.Chromosome.pp
-            result.Pimcomp.Compile.chromosome
-        end;
+        let cache = open_cache cache_dir cache_max_mb in
+        let served = Pimcomp.Compile.compile_program ~options ?cache hw graph in
+        let program = served.Pimcomp.Compile.program in
+        (match served.Pimcomp.Compile.result with
+        | Some result ->
+            Fmt.pr "%a@." Pimcomp.Report.pp_summary result;
+            if verbose then begin
+              Fmt.pr "@.replication:@.%a@." Pimcomp.Report.pp_replication
+                result;
+              Fmt.pr "@.mapping:@.%a@." Pimcomp.Chromosome.pp
+                result.Pimcomp.Compile.chromosome
+            end
+        | None ->
+            (* Cache hit: the full compile record was never built — the
+               program itself came off disk, already re-verified. *)
+            Fmt.pr "%s: %d cores, %d instructions (cache hit)@."
+              program.Pimcomp.Isa.graph_name program.Pimcomp.Isa.core_count
+              (Array.fold_left
+                 (fun acc c -> acc + Array.length c)
+                 0 program.Pimcomp.Isa.cores));
+        (match (cache, served.Pimcomp.Compile.key) with
+        | Some cache, Some key ->
+            Fmt.pr "cache %s: key %s in %.3f s  (%a)@."
+              (Pimcomp.Compile.outcome_name served.Pimcomp.Compile.outcome)
+              key served.Pimcomp.Compile.seconds pp_cache_stats
+              (Pimcomp.Cache.stats cache)
+        | _ -> ());
         (match emit_isa with
         | Some path ->
-            Pimcomp.Isa_text.to_file path result.Pimcomp.Compile.program;
+            Pimcomp.Isa_text.to_file path program;
             Fmt.pr "wrote instruction stream to %s@." path
         | None -> ());
         (match emit_trace with
         | Some path ->
-            let metrics, trace =
-              Pimsim.Trace.run ~parallelism hw result.Pimcomp.Compile.program
-            in
+            let metrics, trace = Pimsim.Trace.run ~parallelism hw program in
             let payload =
               if Filename.check_suffix path ".svg" then
                 Pimsim.Trace.to_svg trace
               else Pimsim.Trace.to_csv trace
             in
-            Out_channel.with_open_text path (fun oc ->
-                Out_channel.output_string oc payload);
+            Pimutil.Atomic_io.write_text path payload;
             Fmt.pr "wrote %d trace events to %s@.@.%a@."
               (Pimsim.Trace.length trace) path Pimsim.Metrics.pp metrics
         | None ->
             if simulate then
-              let metrics =
-                Pimsim.Engine.run ~parallelism hw
-                  result.Pimcomp.Compile.program
-              in
+              let metrics = Pimsim.Engine.run ~parallelism hw program in
               Fmt.pr "@.%a@." Pimsim.Metrics.pp metrics))
   in
   Term.(
@@ -317,7 +370,7 @@ let compile_term simulate =
      $ cores_arg $ allocator_arg $ strategy_arg $ seed_arg $ generations_arg
      $ fast_arg $ ga_islands_arg $ ga_migration_arg $ verbose_arg
      $ simplify_arg $ objective_arg $ verify_flag_arg $ emit_isa_arg
-     $ emit_trace_arg))
+     $ emit_trace_arg $ cache_dir_arg $ cache_max_mb_arg))
 
 let compile_cmd =
   Cmd.v
@@ -507,8 +560,7 @@ let export_cmd =
         match output with
         | None -> print_string text
         | Some path ->
-            Out_channel.with_open_text path (fun oc ->
-                Out_channel.output_string oc text);
+            Pimutil.Atomic_io.write_text path text;
             Fmt.pr "wrote %s@." path)
   in
   Cmd.v
@@ -517,13 +569,310 @@ let export_cmd =
       term_result
         (const run $ network_arg $ input_size_arg $ format_arg $ output_arg))
 
+(* --- serve: persistent compile daemon -------------------------------------- *)
+
+(* One JSON object per line in, one per line out, in request order.
+   Lines that arrive together form a batch and compile concurrently on
+   the warm domain pool.  Ops: ping, stats, shutdown, compile, verify,
+   simulate — see README.md for the field reference. *)
+module Serve = struct
+  module J = Pimutil.Json
+
+  let error msg = J.Obj [ ("ok", J.Bool false); ("error", J.String msg) ]
+
+  let options_of_request req =
+    let mode =
+      Pimcomp.Mode.of_string (J.string_field ~default:"HT" "mode" req)
+    in
+    let allocator =
+      Pimcomp.Memalloc.strategy_of_string
+        (J.string_field ~default:"ag-reuse" "allocator" req)
+    in
+    let seed = J.int_field ~default:42 "seed" req in
+    let generations = J.int_field ~default:200 "generations" req in
+    let fast = J.bool_field ~default:false "fast" req in
+    let strategy =
+      strategy_of_flags
+        (J.string_field ~default:"ga" "strategy" req)
+        fast generations seed
+    in
+    let parallelism =
+      J.int_field ~default:Pimsim.Engine.default_parallelism "parallelism"
+        req
+    in
+    build_options
+      ~verify:(J.bool_field ~default:true "verify" req)
+      ~mode ~parallelism
+      ~cores:(J.opt_int_field "cores" req)
+      ~allocator ~strategy ~seed
+      ~objective:
+        (objective_of_string (J.string_field ~default:"time" "objective" req))
+      ()
+
+  let program_fields (served : Pimcomp.Compile.served) =
+    let program = served.Pimcomp.Compile.program in
+    let instructions =
+      Array.fold_left
+        (fun acc c -> acc + Array.length c)
+        0 program.Pimcomp.Isa.cores
+    in
+    [
+      ("ok", J.Bool true);
+      ("graph", J.String program.Pimcomp.Isa.graph_name);
+      ( "outcome",
+        J.String
+          (Pimcomp.Compile.outcome_name served.Pimcomp.Compile.outcome) );
+      ( "key",
+        match served.Pimcomp.Compile.key with
+        | Some k -> J.String k
+        | None -> J.Null );
+      ("seconds", J.Float served.Pimcomp.Compile.seconds);
+      ("cores", J.Int program.Pimcomp.Isa.core_count);
+      ("instructions", J.Int instructions);
+    ]
+
+  (* Heavy ops run on pool domains; everything here must only touch the
+     request's own data plus the domain-safe cache handle. *)
+  let run_heavy ~hw ~cache op req =
+    let graph =
+      load_network
+        (J.string_field "network" req)
+        (J.opt_int_field "input_size" req)
+    in
+    let options = options_of_request req in
+    let served = Pimcomp.Compile.compile_program ~options ?cache hw graph in
+    match op with
+    | "compile" -> J.Obj (program_fields served)
+    | "verify" -> (
+        match
+          Pimcomp.Verify.run ~graph ~config:hw served.Pimcomp.Compile.program
+        with
+        | [] ->
+            J.Obj (program_fields served @ [ ("violations", J.Int 0) ])
+        | violations ->
+            J.Obj
+              [
+                ("ok", J.Bool false);
+                ("violations", J.Int (List.length violations));
+                ( "error",
+                  J.String (Fmt.str "%a" Pimcomp.Verify.report violations) );
+              ])
+    | "simulate" ->
+        let metrics =
+          Pimsim.Engine.run
+            ~parallelism:(options.Pimcomp.Compile.parallelism)
+            hw served.Pimcomp.Compile.program
+        in
+        J.Obj
+          (program_fields served
+          @ [
+              ("latency_ns", J.Float metrics.Pimsim.Metrics.latency_ns);
+              ( "throughput_ips",
+                J.Float metrics.Pimsim.Metrics.throughput_ips );
+              ( "energy_pj",
+                J.Float
+                  (Pimsim.Metrics.total_pj metrics.Pimsim.Metrics.energy) );
+            ])
+    | op -> error (Fmt.str "unknown op %S" op)
+
+  let stats_response cache =
+    match cache with
+    | None -> J.Obj [ ("ok", J.Bool true); ("cache", J.Bool false) ]
+    | Some cache ->
+        let s = Pimcomp.Cache.stats cache in
+        J.Obj
+          [
+            ("ok", J.Bool true);
+            ("cache", J.Bool true);
+            ("dir", J.String (Pimcomp.Cache.dir cache));
+            ("hits", J.Int s.Pimcomp.Cache.hits);
+            ("misses", J.Int s.Pimcomp.Cache.misses);
+            ("rejected", J.Int s.Pimcomp.Cache.rejected);
+            ("evictions", J.Int s.Pimcomp.Cache.evictions);
+            ("entries", J.Int s.Pimcomp.Cache.entries);
+            ("bytes", J.Int s.Pimcomp.Cache.bytes);
+          ]
+
+  (* A batch of request lines -> response lines (same order) + verdict.
+     Light ops answer inline; heavy ops fan out over the pool.  Every
+     failure is attributed to its own request line — one bad request
+     never poisons its batchmates or the daemon. *)
+  let handle ~hw ~cache ~pool lines =
+    let classified =
+      List.map
+        (fun line ->
+          match J.of_string line with
+          | exception J.Parse_error msg -> `Done (error msg)
+          | req -> (
+              match J.string_field ~default:"" "op" req with
+              | "ping" -> `Done (J.Obj [ ("ok", J.Bool true) ])
+              | "stats" -> `Done (stats_response cache)
+              | "shutdown" -> `Stop (J.Obj [ ("ok", J.Bool true) ])
+              | ("compile" | "verify" | "simulate") as op -> `Heavy (op, req)
+              | "" -> `Done (error "missing op")
+              | op -> `Done (error (Fmt.str "unknown op %S" op))))
+        lines
+    in
+    let heavy =
+      Array.of_list
+        (List.filter_map
+           (function `Heavy (op, req) -> Some (op, req) | _ -> None)
+           classified)
+    in
+    let heavy_results =
+      Pimutil.Domain_pool.Persistent.run pool
+        (fun (op, req) ->
+          try run_heavy ~hw ~cache op req with
+          | Invalid_argument msg | Failure msg -> error msg
+          | Pimcomp.Chromosome.Infeasible msg ->
+              error ("infeasible: " ^ msg)
+          | Nnir.Graph.Invalid_graph msg -> error ("invalid graph: " ^ msg)
+          | J.Parse_error msg -> error msg)
+        heavy
+    in
+    let next = ref 0 in
+    let stop = ref false in
+    let responses =
+      List.map
+        (fun c ->
+          let json =
+            match c with
+            | `Done json -> json
+            | `Stop json ->
+                stop := true;
+                json
+            | `Heavy _ ->
+                let r = heavy_results.(!next) in
+                incr next;
+                r
+          in
+          J.to_string json)
+        classified
+    in
+    (responses, if !stop then Pimutil.Line_server.Stop else
+       Pimutil.Line_server.Continue)
+
+  let run_stdio ~hw ~cache ~pool =
+    Pimutil.Line_server.serve ~input:Unix.stdin ~output:Unix.stdout
+      ~handle:(handle ~hw ~cache ~pool) ()
+
+  let run_socket ~hw ~cache ~pool path =
+    if Sys.file_exists path then Sys.remove path;
+    let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () ->
+        (try Unix.close sock with Unix.Unix_error _ -> ());
+        try Sys.remove path with Sys_error _ -> ())
+      (fun () ->
+        Unix.bind sock (Unix.ADDR_UNIX path);
+        Unix.listen sock 16;
+        Fmt.epr "pimcomp serve: listening on %s@." path;
+        let stopped = ref false in
+        while not !stopped do
+          let client, _ = Unix.accept sock in
+          Fun.protect
+            ~finally:(fun () ->
+              try Unix.close client with Unix.Unix_error _ -> ())
+            (fun () ->
+              (* Track shutdown so it also ends the accept loop. *)
+              let handle lines =
+                let responses, verdict = handle ~hw ~cache ~pool lines in
+                if verdict = Pimutil.Line_server.Stop then stopped := true;
+                (responses, verdict)
+              in
+              Pimutil.Line_server.serve ~input:client ~output:client ~handle
+                ())
+        done)
+end
+
+let serve_cmd =
+  let socket_arg =
+    let doc =
+      "Listen on a Unix domain socket instead of stdin/stdout.  Clients \
+       connect one at a time; a shutdown op ends the daemon."
+    in
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let run cache_dir cache_max_mb socket jobs =
+    wrap (fun () ->
+        let hw = Pimhw.Config.puma_like in
+        let cache = open_cache cache_dir cache_max_mb in
+        (* Warm, long-lived workers: spawn once, grow the minor heap for
+           the schedulers' allocation profile, reuse across requests. *)
+        let pool =
+          Pimutil.Domain_pool.Persistent.create ?domains:jobs
+            ~init:Pimcomp.Sched_common.ensure_bulk_nursery ()
+        in
+        Fun.protect
+          ~finally:(fun () -> Pimutil.Domain_pool.Persistent.shutdown pool)
+          (fun () ->
+            match socket with
+            | None -> Serve.run_stdio ~hw ~cache ~pool
+            | Some path -> Serve.run_socket ~hw ~cache ~pool path))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run as a persistent compile daemon: JSON requests, one per \
+          line, answered in order; lines that arrive together compile \
+          concurrently on a warm domain pool.  Ops: ping, stats, \
+          shutdown, compile, verify, simulate.  With --cache, programs \
+          are served from the content-addressed artifact cache when \
+          possible (every hit is re-verified on load).")
+    Term.(
+      term_result
+        (const run $ cache_dir_arg $ cache_max_mb_arg $ socket_arg $ jobs_arg))
+
+(* --- cache: inspect / maintain a cache directory ---------------------------- *)
+
+let cache_cmd =
+  let action_arg =
+    let doc = "Action: stats, list, clear or evict." in
+    Arg.(
+      required
+      & pos 0 (some (enum [ ("stats", `Stats); ("list", `List);
+                            ("clear", `Clear); ("evict", `Evict) ])) None
+      & info [] ~docv:"ACTION" ~doc)
+  in
+  let dir_arg =
+    let doc = "Cache directory." in
+    Arg.(required & opt (some string) None & info [ "dir" ] ~docv:"DIR" ~doc)
+  in
+  let run action dir max_mb =
+    wrap (fun () ->
+        let cache =
+          match open_cache (Some dir) max_mb with
+          | Some c -> c
+          | None -> assert false
+        in
+        match action with
+        | `Stats -> Fmt.pr "%a@." pp_cache_stats (Pimcomp.Cache.stats cache)
+        | `List ->
+            List.iter
+              (fun (key, graph, bytes, _mtime) ->
+                Fmt.pr "%s %-14s %d@." key graph bytes)
+              (Pimcomp.Cache.list cache)
+        | `Clear ->
+            Fmt.pr "removed %d entries@." (Pimcomp.Cache.clear cache)
+        | `Evict ->
+            if max_mb = None then
+              raise (Invalid_argument "evict requires --cache-max-mb");
+            Fmt.pr "evicted %d entries@." (Pimcomp.Cache.trim cache))
+  in
+  Cmd.v
+    (Cmd.info "cache"
+       ~doc:
+         "Inspect or maintain a compile-cache directory: stats, list \
+          (newest first), clear, or evict down to --cache-max-mb.")
+    Term.(term_result (const run $ action_arg $ dir_arg $ cache_max_mb_arg))
+
 let main_cmd =
   let doc = "PIMCOMP: compilation framework for crossbar-based PIM DNN accelerators" in
   Cmd.group
     (Cmd.info "pimcomp" ~version:"1.0.0" ~doc)
     [
       networks_cmd; table1_cmd; compile_cmd; simulate_cmd; sweep_cmd;
-      verify_cmd; export_cmd;
+      verify_cmd; export_cmd; serve_cmd; cache_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

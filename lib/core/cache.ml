@@ -1,0 +1,236 @@
+(* Content-addressed compile cache: a directory of {!Artifact}
+   containers named <key>.pimart, where the key is a canonical digest
+   of everything that determines the compiled program — the NNIR graph,
+   the compile options and the hardware configuration (computed by
+   {!Compile.cache_key}; the field canonicalisation lives here as
+   {!digest_fields}).
+
+   Correctness engineering, per invariant:
+
+   - the digest is MD5 over a *canonical rendering*: fields sorted by
+     name and length-prefixed, so reordering cannot change the key and
+     no (name, value) pair can alias another's byte sequence.
+     [Hashtbl.hash] is explicitly rejected — it truncates its traversal
+     (default meaningful limit ~10 nodes) and would collide distinct
+     graphs;
+   - entries are published with temp-file + rename ({!Artifact.to_file}
+     via {!Pimutil.Atomic_io}), so a crashed or concurrent writer can
+     never leave a torn entry; concurrent stores of the same key both
+     produce complete files and the later rename wins;
+   - every hit is distrusted until proven: container checksum
+     ({!Artifact.of_string}), key match against the request, and a full
+     {!Verify.run} against the request's graph and hardware config.
+     Any failure deletes the entry and reports a miss — the caller
+     recompiles, and the cache heals itself;
+   - eviction is LRU by file mtime (hits touch their entry), triggered
+     on store when [max_bytes] is set; the newest entry always
+     survives.
+
+   The handle is domain-safe: counters and the eviction scan are under
+   a mutex, file content is protected by the atomic-rename discipline. *)
+
+type t = {
+  dir : string;
+  max_bytes : int option;
+  mutex : Mutex.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable rejected : int;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  rejected : int;
+  entries : int;
+  bytes : int;
+}
+
+(* --- canonical digest ------------------------------------------------------ *)
+
+(* Length-prefixing both halves of every field makes the rendering
+   injective: ("a", "b=c") and ("a=b", "c") produce different byte
+   strings, unlike naive "k=v;" concatenation.  Sorting by field name
+   (then value, for robustness against duplicate names) makes the
+   digest independent of the order the caller assembled the fields. *)
+let digest_fields fields =
+  let canonical =
+    List.sort compare fields
+    |> List.map (fun (k, v) ->
+           Fmt.str "%d:%s=%d:%s;" (String.length k) k (String.length v) v)
+    |> String.concat ""
+  in
+  Digest.to_hex (Digest.string canonical)
+
+(* --- store ----------------------------------------------------------------- *)
+
+let entry_suffix = ".pimart"
+
+let path_of t key = Filename.concat t.dir (key ^ entry_suffix)
+
+let open_dir ?max_bytes dir =
+  (match max_bytes with
+  | Some b when b < 0 -> invalid_arg "Cache.open_dir: negative max_bytes"
+  | _ -> ());
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+  else if not (Sys.is_directory dir) then
+    invalid_arg (Fmt.str "Cache.open_dir: %s is not a directory" dir);
+  {
+    dir;
+    max_bytes;
+    mutex = Mutex.create ();
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    rejected = 0;
+  }
+
+let dir t = t.dir
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* Entries present on disk: (path, mtime, size), temp files skipped. *)
+let scan_entries t =
+  match Sys.readdir t.dir with
+  | exception Sys_error _ -> []
+  | names ->
+      Array.to_list names
+      |> List.filter_map (fun name ->
+             if
+               Filename.check_suffix name entry_suffix
+               && not (Pimutil.Atomic_io.is_temp_file name)
+             then
+               let path = Filename.concat t.dir name in
+               match Unix.stat path with
+               | { Unix.st_kind = Unix.S_REG; st_mtime; st_size; _ } ->
+                   Some (path, st_mtime, st_size)
+               | _ | (exception Unix.Unix_error _) -> None
+             else None)
+
+let remove_quietly path = try Sys.remove path with Sys_error _ -> ()
+
+let touch path =
+  (* The LRU clock.  An explicit gettimeofday stamp, not the kernel's
+     own file timestamping: write mtimes come from the coarse per-tick
+     clock (~ms granularity), so back-to-back stores and hits tie and
+     LRU order would degenerate to directory-scan order.  gettimeofday
+     is µs-resolved, which keeps successive entries ordered. *)
+  let now = Unix.gettimeofday () in
+  try Unix.utimes path now now with Unix.Unix_error _ -> ()
+
+type rejection = Container of string | Key_mismatch | Invalid of string
+
+let rejection_message = function
+  | Container m -> m
+  | Key_mismatch -> "entry key disagrees with its file name"
+  | Invalid m -> m
+
+(* Load + validate one entry; [Error] explains why it cannot be
+   trusted.  No counters here — [find] owns the bookkeeping. *)
+let load_entry ~key ~graph ~config path =
+  match Artifact.of_file path with
+  | exception Artifact.Corrupt m -> Error (Container m)
+  | artifact ->
+      if artifact.Artifact.key <> key then Error Key_mismatch
+      else begin
+        let program = artifact.Artifact.program in
+        match Verify.run ~graph ~config program with
+        | [] -> Ok program
+        | violations ->
+            Error (Invalid (Fmt.str "%a" Verify.report violations))
+      end
+
+let find ?(verbose = false) t ~key ~graph ~config () =
+  let path = path_of t key in
+  if not (Sys.file_exists path) then begin
+    locked t (fun () -> t.misses <- t.misses + 1);
+    None
+  end
+  else
+    match load_entry ~key ~graph ~config path with
+    | Ok program ->
+        touch path;
+        locked t (fun () -> t.hits <- t.hits + 1);
+        Some program
+    | Error why ->
+        (* Poisoned entry: drop it and recompile — never serve it. *)
+        if verbose then
+          Fmt.epr "cache: rejecting %s: %s@." path (rejection_message why);
+        remove_quietly path;
+        locked t (fun () ->
+            t.rejected <- t.rejected + 1;
+            t.misses <- t.misses + 1);
+        None
+
+let enforce_budget t =
+  match t.max_bytes with
+  | None -> ()
+  | Some budget ->
+      locked t (fun () ->
+          let entries =
+            List.sort
+              (fun (_, a, _) (_, b, _) -> compare (a : float) b)
+              (scan_entries t)
+          in
+          let total =
+            List.fold_left (fun acc (_, _, s) -> acc + s) 0 entries
+          in
+          let excess = ref (total - budget) in
+          let remaining = ref (List.length entries) in
+          List.iter
+            (fun (path, _, size) ->
+              (* oldest first; always keep the newest entry, even if it
+                 alone exceeds the budget *)
+              if !excess > 0 && !remaining > 1 then begin
+                remove_quietly path;
+                excess := !excess - size;
+                decr remaining;
+                t.evictions <- t.evictions + 1
+              end)
+            entries)
+
+let store t ~key program =
+  let path = path_of t key in
+  Artifact.to_file path (Artifact.make ~key program);
+  touch path;
+  enforce_budget t
+
+let trim t =
+  let before = locked t (fun () -> t.evictions) in
+  enforce_budget t;
+  locked t (fun () -> t.evictions) - before
+
+let stats t =
+  let entries = scan_entries t in
+  let bytes = List.fold_left (fun acc (_, _, s) -> acc + s) 0 entries in
+  locked t (fun () ->
+      {
+        hits = t.hits;
+        misses = t.misses;
+        evictions = t.evictions;
+        rejected = t.rejected;
+        entries = List.length entries;
+        bytes;
+      })
+
+let clear t =
+  locked t (fun () ->
+      let entries = scan_entries t in
+      List.iter (fun (path, _, _) -> remove_quietly path) entries;
+      List.length entries)
+
+let list t =
+  scan_entries t
+  |> List.sort (fun (_, a, _) (_, b, _) -> compare (b : float) a)
+  |> List.map (fun (path, mtime, size) ->
+         let key = Filename.chop_suffix (Filename.basename path) entry_suffix in
+         let graph =
+           match Artifact.of_file path with
+           | a -> a.Artifact.program.Isa.graph_name
+           | exception Artifact.Corrupt _ -> "<corrupt>"
+         in
+         (key, graph, size, mtime))

@@ -31,6 +31,11 @@ type options = {
          returning it; on by default — the pass costs a small fraction
          of a compile and turns backend bugs into diagnostics instead
          of simulator crashes or silently wrong metrics *)
+  cache : [ `Off | `Dir of string ];
+      (* content-addressed artifact cache for [compile_program]: `Dir
+         looks compiled programs up by cache_key before compiling and
+         stores fresh compiles after.  Never consulted by [compile]
+         itself, which always runs the full pipeline. *)
 }
 
 let default_options =
@@ -46,6 +51,7 @@ let default_options =
     objective = Fitness.Minimize_time;
     ga_islands = None;
     verify = true;
+    cache = `Off;
   }
 
 type stage_seconds = {
@@ -197,15 +203,207 @@ let compile ?(options = default_options) (config : Pimhw.Config.t)
       };
   }
 
+(* --- cache keys ------------------------------------------------------------ *)
+
+(* Canonical digest of everything that determines the compiled program.
+   The graph contributes its .nnt text (Text_format round-trips
+   exactly, so it is a faithful canonical form); options and hardware
+   config contribute every semantically relevant field, floats rendered
+   with %h (exact hex).  Deliberately excluded, with the reasoning on
+   record:
+
+   - options.verify — verification never changes the emitted program,
+     and every cache hit re-verifies on load regardless;
+   - options.cache — where an artifact is stored cannot change what it
+     contains;
+   - ga_islands.domains — the island GA is bit-identical for any domain
+     count (PR 3 contract), so the worker count is not content.
+
+   The rendering itself is made order-independent and injective by
+   Cache.digest_fields. *)
+let cache_key ?(options = default_options) (config : Pimhw.Config.t) graph =
+  let strategy_fields =
+    let params_fields prefix (p : Genetic.params) =
+      [
+        (prefix ^ ".population", string_of_int p.Genetic.population);
+        (prefix ^ ".iterations", string_of_int p.Genetic.iterations);
+        (prefix ^ ".elite", string_of_int p.Genetic.elite);
+        ( prefix ^ ".mutations_per_child",
+          string_of_int p.Genetic.mutations_per_child );
+        ( prefix ^ ".extra_replica_attempts",
+          string_of_int p.Genetic.extra_replica_attempts );
+        ( prefix ^ ".patience",
+          match p.Genetic.patience with
+          | None -> "none"
+          | Some n -> string_of_int n );
+      ]
+    in
+    match options.strategy with
+    | Genetic_algorithm p -> ("strategy", "ga") :: params_fields "ga" p
+    | Random_search p -> ("strategy", "random") :: params_fields "random" p
+    | Puma_like -> [ ("strategy", "puma") ]
+  in
+  let island_fields =
+    match options.ga_islands with
+    | None -> [ ("islands", "none") ]
+    | Some i ->
+        [
+          ("islands", string_of_int i.Genetic.islands);
+          ( "islands.migration_interval",
+            string_of_int i.Genetic.migration_interval );
+          ("islands.migration_size", string_of_int i.Genetic.migration_size);
+        ]
+  in
+  let f = Fmt.str "%h" in
+  let c = config in
+  let config_fields =
+    [
+      ("hw.xbar_rows", string_of_int c.Pimhw.Config.xbar_rows);
+      ("hw.xbar_cols", string_of_int c.Pimhw.Config.xbar_cols);
+      ("hw.xbars_per_core", string_of_int c.Pimhw.Config.xbars_per_core);
+      ("hw.vfus_per_core", string_of_int c.Pimhw.Config.vfus_per_core);
+      ("hw.vfu_lanes", string_of_int c.Pimhw.Config.vfu_lanes);
+      ("hw.local_memory_bytes", string_of_int c.Pimhw.Config.local_memory_bytes);
+      ( "hw.global_memory_bytes",
+        string_of_int c.Pimhw.Config.global_memory_bytes );
+      ("hw.core_count", string_of_int c.Pimhw.Config.core_count);
+      ("hw.flit_bytes", string_of_int c.Pimhw.Config.flit_bytes);
+      ( "hw.global_memory_banks",
+        string_of_int c.Pimhw.Config.global_memory_banks );
+      ("hw.t_mvm_ns", f c.Pimhw.Config.t_mvm_ns);
+      ("hw.t_core_cycle_ns", f c.Pimhw.Config.t_core_cycle_ns);
+      ("hw.t_hop_ns", f c.Pimhw.Config.t_hop_ns);
+      ("hw.t_dram_latency_ns", f c.Pimhw.Config.t_dram_latency_ns);
+      ("hw.global_memory_gbps", f c.Pimhw.Config.global_memory_gbps);
+      ("hw.pimmu_power_mw", f c.Pimhw.Config.pimmu_power_mw);
+      ("hw.vfu_power_mw", f c.Pimhw.Config.vfu_power_mw);
+      ("hw.local_memory_power_mw", f c.Pimhw.Config.local_memory_power_mw);
+      ("hw.control_power_mw", f c.Pimhw.Config.control_power_mw);
+      ("hw.router_power_mw", f c.Pimhw.Config.router_power_mw);
+      ("hw.global_memory_power_mw", f c.Pimhw.Config.global_memory_power_mw);
+      ( "hw.hyper_transport_power_mw",
+        f c.Pimhw.Config.hyper_transport_power_mw );
+      ("hw.pimmu_area_mm2", f c.Pimhw.Config.pimmu_area_mm2);
+      ("hw.vfu_area_mm2", f c.Pimhw.Config.vfu_area_mm2);
+      ("hw.local_memory_area_mm2", f c.Pimhw.Config.local_memory_area_mm2);
+      ("hw.control_area_mm2", f c.Pimhw.Config.control_area_mm2);
+      ("hw.router_area_mm2", f c.Pimhw.Config.router_area_mm2);
+      ("hw.global_memory_area_mm2", f c.Pimhw.Config.global_memory_area_mm2);
+      ( "hw.hyper_transport_area_mm2",
+        f c.Pimhw.Config.hyper_transport_area_mm2 );
+      ("hw.static_fraction", f c.Pimhw.Config.static_fraction);
+    ]
+  in
+  Cache.digest_fields
+    ([
+       ("format", "pimcomp-cache-key-v1");
+       ("graph.nnt", Nnir.Text_format.to_string graph);
+       ("mode", Mode.to_string options.mode);
+       ("parallelism", string_of_int options.parallelism);
+       ( "core_count",
+         match options.core_count with
+         | None -> "fit"
+         | Some n -> string_of_int n );
+       ( "max_node_num_in_core",
+         string_of_int options.max_node_num_in_core );
+       ("allocator", Memalloc.strategy_name options.allocator);
+       ("mvms_per_transfer", string_of_int options.mvms_per_transfer);
+       ("seed", string_of_int options.seed);
+       ("objective", Fitness.objective_name options.objective);
+     ]
+    @ strategy_fields @ island_fields @ config_fields)
+
+(* --- cached program service ------------------------------------------------- *)
+
+type outcome = Cache_off | Cache_miss | Cache_hit
+
+let outcome_name = function
+  | Cache_off -> "off"
+  | Cache_miss -> "miss"
+  | Cache_hit -> "hit"
+
+type served = {
+  program : Isa.t;
+  outcome : outcome;
+  key : string option;
+  seconds : float;
+  result : t option;
+}
+
+let compile_program ?(options = default_options) ?cache
+    (config : Pimhw.Config.t) graph =
+  let t0 = Unix.gettimeofday () in
+  let cache =
+    match (cache, options.cache) with
+    | Some c, _ -> Some c
+    | None, `Dir dir -> Some (Cache.open_dir dir)
+    | None, `Off -> None
+  in
+  match cache with
+  | None ->
+      let r = compile ~options config graph in
+      {
+        program = r.program;
+        outcome = Cache_off;
+        key = None;
+        seconds = Unix.gettimeofday () -. t0;
+        result = Some r;
+      }
+  | Some cache -> (
+      let key = cache_key ~options config graph in
+      match Cache.find cache ~key ~graph ~config () with
+      | Some program ->
+          {
+            program;
+            outcome = Cache_hit;
+            key = Some key;
+            seconds = Unix.gettimeofday () -. t0;
+            result = None;
+          }
+      | None ->
+          let r = compile ~options config graph in
+          Cache.store cache ~key r.program;
+          {
+            program = r.program;
+            outcome = Cache_miss;
+            key = Some key;
+            seconds = Unix.gettimeofday () -. t0;
+            result = Some r;
+          })
+
+(* --- batch ------------------------------------------------------------------- *)
+
+exception Job_error of { index : int; graph : string; exn : exn }
+
+let () =
+  Printexc.register_printer (function
+    | Job_error { index; graph; exn } ->
+        Some
+          (Fmt.str "Compile.batch: job %d (%s) failed: %s" index graph
+             (Printexc.to_string exn))
+    | _ -> None)
+
 (* Fan independent compiles across OCaml domains.  Every job is pure
    and seeded (the GA RNG comes from options.seed; nothing reads the
    wall clock except the stage timers), so the returned programs,
    chromosomes, and fitness values are bit-identical to a sequential
    run whatever the domain count — only [stage_seconds] varies.  Jobs
    running an island GA ([ga_islands = Some _]) spawn their own inner
-   domains; keep [jobs] low in that case to avoid oversubscription. *)
+   domains; keep [jobs] low in that case to avoid oversubscription.
+
+   A failing job re-raises in the caller wrapped in [Job_error] so a
+   whole-zoo sweep names the (index, graph) that broke instead of
+   surfacing a bare exception; the original backtrace is preserved on
+   the wrapper. *)
 let batch ?jobs (config : Pimhw.Config.t) work =
   Pimhw.Config.validate config;
-  Pimutil.Domain_pool.map_list ?domains:jobs
-    (fun (graph, options) -> compile ~options config graph)
-    work
+  Pimutil.Domain_pool.map ?domains:jobs
+    (fun (index, (graph, options)) ->
+      try compile ~options config graph
+      with e ->
+        let bt = Printexc.get_raw_backtrace () in
+        Printexc.raise_with_backtrace
+          (Job_error { index; graph = Nnir.Graph.name graph; exn = e })
+          bt)
+    (Array.of_list (List.mapi (fun i job -> (i, job)) work))
+  |> Array.to_list

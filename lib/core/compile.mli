@@ -27,6 +27,12 @@ type options = {
       (** Run {!Verify.run} on the compiled program and raise on any
           violation.  On by default; the pass is a small fraction of a
           compile. *)
+  cache : [ `Off | `Dir of string ];
+      (** Content-addressed artifact cache, consulted only by
+          {!compile_program}: [`Dir d] looks programs up under [d] by
+          {!cache_key} before compiling and stores fresh compiles after.
+          {!compile} itself always runs the full pipeline.  Off by
+          default. *)
 }
 
 val default_options : options
@@ -61,11 +67,52 @@ val compile : ?options:options -> Pimhw.Config.t -> Nnir.Graph.t -> t
     output programs and {!Chromosome.Infeasible} when the network cannot
     fit the machine. *)
 
+val cache_key : ?options:options -> Pimhw.Config.t -> Nnir.Graph.t -> string
+(** Canonical content digest (32 hex chars) of everything that
+    determines the compiled program: the graph's exact [.nnt] text plus
+    every semantically relevant option and hardware field, rendered
+    canonically and hashed by {!Cache.digest_fields}.  Fields that
+    cannot change the program are excluded: [options.verify],
+    [options.cache] and the island GA's [domains] (island results are
+    domain-count-invariant).  Equal keys mean bit-identical programs;
+    any change to a hashed field changes the key. *)
+
+type outcome = Cache_off | Cache_miss | Cache_hit
+
+val outcome_name : outcome -> string
+(** ["off"], ["miss"], ["hit"]. *)
+
+type served = {
+  program : Isa.t;
+  outcome : outcome;
+  key : string option;  (** [None] iff [Cache_off] *)
+  seconds : float;  (** wall-clock for the whole request *)
+  result : t option;
+      (** Full compile record on [Cache_off]/[Cache_miss]; [None] on a
+          hit — only the program is stored in the cache. *)
+}
+
+val compile_program :
+  ?options:options -> ?cache:Cache.t -> Pimhw.Config.t -> Nnir.Graph.t ->
+  served
+(** Cache-aware front door used by the CLI and the serve daemon.  With a
+    cache (the [cache] argument wins over [options.cache]), looks the
+    program up by {!cache_key} — a hit has already passed the container
+    checksum and a fresh {!Verify.run} (see {!Cache.find}), making it
+    indistinguishable from a fresh compile — and stores the program
+    after a miss.  Without one, equivalent to {!compile}. *)
+
+exception Job_error of { index : int; graph : string; exn : exn }
+(** A {!batch} job failed: [index] is its position in the work list,
+    [graph] the network's name, [exn] the original exception.  The
+    original backtrace is preserved on the re-raise. *)
+
 val batch :
   ?jobs:int -> Pimhw.Config.t -> (Nnir.Graph.t * options) list -> t list
 (** Compile each (graph, options) job, fanned across up to [jobs]
     OCaml domains (default: {!Pimutil.Domain_pool.default_domains}).
     Jobs are pure and seeded, so results are bit-identical to mapping
     {!compile} over the list sequentially, whatever [jobs] is; only the
-    wall-clock [stage_seconds] fields vary.  Exceptions from any job are
-    re-raised in the caller. *)
+    wall-clock [stage_seconds] fields vary.  A failing job re-raises in
+    the caller as {!Job_error}, naming the job instead of surfacing a
+    bare exception. *)

@@ -365,9 +365,7 @@ let of_string text =
     mem_trace = Array.of_list (List.rev !rev_trace);
   }
 
-let to_file path t =
-  Out_channel.with_open_text path (fun oc ->
-      Out_channel.output_string oc (to_string t))
+let to_file path t = Pimutil.Atomic_io.write_text path (to_string t)
 
 let of_file path =
   In_channel.with_open_text path (fun ic ->

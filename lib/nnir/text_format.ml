@@ -269,11 +269,7 @@ let of_string text =
   in
   Graph.create ~name (List.rev !rev_nodes)
 
-let to_file path g =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string g))
+let to_file path g = Pimutil.Atomic_io.write_text path (to_string g)
 
 let of_file path =
   let ic = open_in path in

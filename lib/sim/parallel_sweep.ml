@@ -10,7 +10,7 @@
    the [simulate] convenience. *)
 
 let default_domains = Pimutil.Domain_pool.default_domains
-let map = Pimutil.Domain_pool.map
+let map ?domains f items = Pimutil.Domain_pool.map ?domains f items
 let map_list = Pimutil.Domain_pool.map_list
 
 (* Convenience for the most common sweep shape: simulate many compiled

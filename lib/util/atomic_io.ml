@@ -1,0 +1,44 @@
+(* Crash-safe file publication: write into a unique temp file in the
+   *same directory* as the target, flush + best-effort fsync, then
+   [Sys.rename] over the destination.  POSIX rename within a directory
+   is atomic, so a reader (or a concurrent writer racing on the same
+   path) only ever observes either the old complete file or the new
+   complete file — never a torn prefix from a writer that died mid
+   [output_string].  Every artifact the toolchain publishes (.isa
+   dumps, BENCH_*.json, cache entries) goes through here. *)
+
+let fsync_quietly oc =
+  (* Push the data to stable storage when the OS lets us; EINVAL on
+     pipes/special files is not a publication failure. *)
+  try Unix.fsync (Unix.descr_of_out_channel oc) with
+  | Unix.Unix_error (_, _, _) | Sys_error _ -> ()
+
+let write_file path f =
+  let dir = Filename.dirname path in
+  (* [Filename.temp_file] creates the (empty, 0600) file, guaranteeing
+     uniqueness against concurrent writers of the same target. *)
+  let tmp = Filename.temp_file ~temp_dir:dir ".atomic-" ".part" in
+  match
+    let oc = Out_channel.open_bin tmp in
+    Fun.protect
+      ~finally:(fun () ->
+        Out_channel.flush oc;
+        fsync_quietly oc;
+        Out_channel.close oc)
+      (fun () -> f oc)
+  with
+  | v ->
+      Sys.rename tmp path;
+      v
+  | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      (try Sys.remove tmp with Sys_error _ -> ());
+      Printexc.raise_with_backtrace e bt
+
+let write_text path text =
+  write_file path (fun oc -> Out_channel.output_string oc text)
+
+let is_temp_file name =
+  String.length name >= 8
+  && String.sub name 0 8 = ".atomic-"
+  && Filename.check_suffix name ".part"

@@ -1,0 +1,18 @@
+(** Crash-safe file publication: temp file + [Sys.rename] in the target
+    directory, so a reader never observes a torn write even if the
+    writer dies mid-stream.  All artifact and benchmark outputs (.isa
+    dumps, BENCH_*.json, cache entries) route through this module. *)
+
+val write_file : string -> (out_channel -> 'a) -> 'a
+(** [write_file path f] opens a unique temp file next to [path] (binary
+    mode), passes it to [f], flushes, fsyncs (best effort) and renames
+    it over [path].  On any exception from [f] the temp file is removed
+    and the target is left untouched; the exception re-raises with its
+    original backtrace. *)
+
+val write_text : string -> string -> unit
+(** [write_text path s] = [write_file path (fun oc -> output_string oc s)]. *)
+
+val is_temp_file : string -> bool
+(** Recognises this module's in-flight temp names (".atomic-*.part"),
+    so directory scans (e.g. cache eviction) can skip them. *)

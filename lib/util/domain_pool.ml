@@ -14,7 +14,10 @@
      wall-clock dependence), hence a parallel run returns bit-identical
      results to a sequential one;
    - an exception in any worker is re-raised (with its backtrace) in the
-     caller after all domains have been joined, never swallowed.
+     caller after all domains have been joined, never swallowed;
+   - a failure while *spawning* (e.g. resource exhaustion) still joins
+     every domain spawned so far before re-raising — no worker is left
+     running against state the caller has abandoned.
 
    Workers must not share mutable state through their closures; callers
    pre-populate caches before fanning out so the closures only read. *)
@@ -23,10 +26,11 @@ let default_domains () = max 1 (Domain.recommended_domain_count ())
 
 type 'b cell = Empty | Value of 'b | Raised of exn * Printexc.raw_backtrace
 
-let map ?domains f items =
+let map ?domains ?spawn f items =
   let n = Array.length items in
   let requested = match domains with Some d -> d | None -> default_domains () in
   let d = max 1 (min requested n) in
+  let spawn = match spawn with Some s -> s | None -> Domain.spawn in
   if n = 0 then [||]
   else if d = 1 then Array.map f items
   else begin
@@ -44,9 +48,24 @@ let map ?domains f items =
             | exception e -> Raised (e, Printexc.get_raw_backtrace ()))
       done
     in
-    let spawned = Array.init (d - 1) (fun _ -> Domain.spawn worker) in
+    (* Spawn incrementally: if Domain.spawn raises partway (the runtime
+       caps live domains, and the OS can refuse a thread), the domains
+       already running must not be leaked against [results]/[next] that
+       this frame is about to abandon.  Parking [next] past [n] tells
+       the survivors to stop claiming work; joining them makes the
+       failure synchronous before the re-raise. *)
+    let spawned = ref [] in
+    (try
+       for _ = 2 to d do
+         spawned := spawn worker :: !spawned
+       done
+     with e ->
+       let bt = Printexc.get_raw_backtrace () in
+       Atomic.set next n;
+       List.iter Domain.join !spawned;
+       Printexc.raise_with_backtrace e bt);
     worker ();
-    Array.iter Domain.join spawned;
+    List.iter Domain.join !spawned;
     Array.map
       (function
         | Value v -> v
@@ -57,3 +76,126 @@ let map ?domains f items =
 
 let map_list ?domains f items =
   Array.to_list (map ?domains f (Array.of_list items))
+
+(* --- persistent pool ------------------------------------------------------ *)
+
+(* Long-lived worker domains fed through a mutex/condition job queue:
+   the serve daemon answers many small request batches, and respawning
+   domains per batch would dominate the work (spawn alone costs more
+   than a warm cache hit).  Workers run [init] once at spawn — the
+   daemon uses it to pre-grow each domain's minor heap — and then stay
+   warm across batches.  [run] keeps the one-shot [map] contract:
+   slot-ordered results, exceptions re-raised in the caller after the
+   whole batch has drained. *)
+
+module Persistent = struct
+  type t = {
+    mutex : Mutex.t;
+    work : Condition.t;       (* job queued, or shutdown flagged *)
+    finished : Condition.t;   (* some batch counter reached zero *)
+    queue : (unit -> unit) Queue.t;
+    mutable stopping : bool;
+    mutable workers : unit Domain.t list;
+  }
+
+  let worker t init () =
+    init ();
+    let rec loop () =
+      Mutex.lock t.mutex;
+      while Queue.is_empty t.queue && not t.stopping do
+        Condition.wait t.work t.mutex
+      done;
+      match Queue.take_opt t.queue with
+      | None ->
+          (* stopping with an empty queue *)
+          Mutex.unlock t.mutex
+      | Some job ->
+          Mutex.unlock t.mutex;
+          (* jobs never raise: [run] wraps them in result cells *)
+          job ();
+          loop ()
+    in
+    loop ()
+
+  let create ?domains ?(init = fun () -> ()) () =
+    let d =
+      max 1 (match domains with Some d -> d | None -> default_domains ())
+    in
+    let t =
+      {
+        mutex = Mutex.create ();
+        work = Condition.create ();
+        finished = Condition.create ();
+        queue = Queue.create ();
+        stopping = false;
+        workers = [];
+      }
+    in
+    (* Same incremental-spawn discipline as [map]: on a partial spawn
+       failure, stop and join the survivors before re-raising. *)
+    (try
+       for _ = 1 to d do
+         t.workers <- Domain.spawn (worker t init) :: t.workers
+       done
+     with e ->
+       let bt = Printexc.get_raw_backtrace () in
+       Mutex.lock t.mutex;
+       t.stopping <- true;
+       Condition.broadcast t.work;
+       Mutex.unlock t.mutex;
+       List.iter Domain.join t.workers;
+       Printexc.raise_with_backtrace e bt);
+    t
+
+  let domain_count t = List.length t.workers
+
+  let run t f items =
+    let n = Array.length items in
+    if n = 0 then [||]
+    else begin
+      let results = Array.make n Empty in
+      (* Per-batch countdown so concurrent [run] calls (and their
+         completion waits) never interfere. *)
+      let remaining = ref n in
+      Mutex.lock t.mutex;
+      if t.stopping then begin
+        Mutex.unlock t.mutex;
+        invalid_arg "Domain_pool.Persistent.run: pool is shut down"
+      end;
+      for i = 0 to n - 1 do
+        Queue.add
+          (fun () ->
+            results.(i) <-
+              (match f items.(i) with
+              | v -> Value v
+              | exception e -> Raised (e, Printexc.get_raw_backtrace ()));
+            Mutex.lock t.mutex;
+            decr remaining;
+            if !remaining = 0 then Condition.broadcast t.finished;
+            Mutex.unlock t.mutex)
+          t.queue
+      done;
+      Condition.broadcast t.work;
+      while !remaining > 0 do
+        Condition.wait t.finished t.mutex
+      done;
+      Mutex.unlock t.mutex;
+      Array.map
+        (function
+          | Value v -> v
+          | Raised (e, bt) -> Printexc.raise_with_backtrace e bt
+          | Empty -> assert false)
+        results
+    end
+
+  let shutdown t =
+    Mutex.lock t.mutex;
+    if not t.stopping then begin
+      t.stopping <- true;
+      Condition.broadcast t.work;
+      Mutex.unlock t.mutex;
+      List.iter Domain.join t.workers;
+      t.workers <- []
+    end
+    else Mutex.unlock t.mutex
+end

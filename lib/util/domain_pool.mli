@@ -6,7 +6,8 @@
     in which order — so a parallel run is bit-identical to a sequential
     one whenever [f] itself is deterministic.  Exceptions raised by [f]
     are re-raised in the caller (with backtrace) after all domains are
-    joined.
+    joined; a failure while spawning joins the domains spawned so far
+    before re-raising, so no worker outlives the call.
 
     Closures must not share mutable state: pre-populate any cache before
     fanning out.  This library is a leaf — usable from both [pimcomp]
@@ -15,9 +16,43 @@
 val default_domains : unit -> int
 (** [Domain.recommended_domain_count ()], at least 1. *)
 
-val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+val map :
+  ?domains:int ->
+  ?spawn:((unit -> unit) -> unit Domain.t) ->
+  ('a -> 'b) ->
+  'a array ->
+  'b array
 (** [map ~domains f items] evaluates [f] over [items] on up to [domains]
     domains (default {!default_domains}; clamped to the item count).
-    [domains <= 1] degrades to a plain sequential [Array.map]. *)
+    [domains <= 1] degrades to a plain sequential [Array.map].  [spawn]
+    is a test hook substituting for [Domain.spawn] (e.g. a wrapper that
+    fails after k spawns, to exercise the partial-spawn cleanup path);
+    production callers never pass it. *)
 
 val map_list : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+
+(** Long-lived worker domains behind a job queue, for callers that issue
+    many small batches (the serve daemon): domains spawn once, run
+    [init] (e.g. growing the minor heap for the schedulers' allocation
+    profile), and stay warm across {!Persistent.run} calls. *)
+module Persistent : sig
+  type t
+
+  val create : ?domains:int -> ?init:(unit -> unit) -> unit -> t
+  (** Spawns [domains] workers (default {!default_domains}, at least 1),
+      each running [init] once before accepting jobs.  On a partial
+      spawn failure the survivors are joined before the exception
+      re-raises. *)
+
+  val domain_count : t -> int
+
+  val run : t -> ('a -> 'b) -> 'a array -> 'b array
+  (** Same contract as {!map} (slot-ordered, deterministic results;
+      worker exceptions re-raised after the batch drains), executed on
+      the pool's warm domains.  Safe to call from multiple domains.
+      Raises [Invalid_argument] after {!shutdown}. *)
+
+  val shutdown : t -> unit
+  (** Stops the workers after the queue drains and joins them.
+      Idempotent. *)
+end

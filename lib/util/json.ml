@@ -1,0 +1,292 @@
+(* Minimal JSON for the serve daemon's line protocol: a full parser and
+   printer for the standard value grammar, with no external dependency
+   (the toolchain deliberately stays on the stock opam set).  Documents
+   are single-line in the protocol, but the parser itself accepts any
+   whitespace.  Ints are kept distinct from floats so request fields
+   like seeds and sizes round-trip exactly. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+let fail fmt = Fmt.kstr (fun m -> raise (Parse_error m)) fmt
+
+(* --- printing ------------------------------------------------------------ *)
+
+let escape_to buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let rec emit buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+      if Float.is_finite f then
+        (* %.17g round-trips any float; trim to the shortest faithful
+           form is not worth the code here. *)
+        Buffer.add_string buf (Printf.sprintf "%.17g" f)
+      else Buffer.add_string buf "null"
+  | String s -> escape_to buf s
+  | List xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          emit buf x)
+        xs;
+      Buffer.add_char buf ']'
+  | Obj kvs ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape_to buf k;
+          Buffer.add_char buf ':';
+          emit buf v)
+        kvs;
+      Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  emit buf v;
+  Buffer.contents buf
+
+(* --- parsing ------------------------------------------------------------- *)
+
+type cursor = { s : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.s then Some c.s.[c.pos] else None
+
+let skip_ws c =
+  while
+    c.pos < String.length c.s
+    && match c.s.[c.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    c.pos <- c.pos + 1
+  done
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> c.pos <- c.pos + 1
+  | Some x -> fail "expected %C at offset %d, found %C" ch c.pos x
+  | None -> fail "expected %C at offset %d, found end of input" ch c.pos
+
+let literal c word value =
+  let n = String.length word in
+  if c.pos + n <= String.length c.s && String.sub c.s c.pos n = word then begin
+    c.pos <- c.pos + n;
+    value
+  end
+  else fail "invalid literal at offset %d" c.pos
+
+let add_utf8 buf code =
+  (* Encode a BMP code point; surrogate pairs in \u escapes are combined
+     by the caller. *)
+  if code < 0x80 then Buffer.add_char buf (Char.chr code)
+  else if code < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else if code < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (code lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+
+let parse_hex4 c =
+  if c.pos + 4 > String.length c.s then fail "truncated \\u escape";
+  let v = int_of_string ("0x" ^ String.sub c.s c.pos 4) in
+  c.pos <- c.pos + 4;
+  v
+
+let parse_string c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    if c.pos >= String.length c.s then fail "unterminated string";
+    let ch = c.s.[c.pos] in
+    c.pos <- c.pos + 1;
+    match ch with
+    | '"' -> Buffer.contents buf
+    | '\\' -> (
+        if c.pos >= String.length c.s then fail "unterminated escape";
+        let e = c.s.[c.pos] in
+        c.pos <- c.pos + 1;
+        match e with
+        | '"' -> Buffer.add_char buf '"'; loop ()
+        | '\\' -> Buffer.add_char buf '\\'; loop ()
+        | '/' -> Buffer.add_char buf '/'; loop ()
+        | 'n' -> Buffer.add_char buf '\n'; loop ()
+        | 'r' -> Buffer.add_char buf '\r'; loop ()
+        | 't' -> Buffer.add_char buf '\t'; loop ()
+        | 'b' -> Buffer.add_char buf '\b'; loop ()
+        | 'f' -> Buffer.add_char buf '\012'; loop ()
+        | 'u' ->
+            let hi = parse_hex4 c in
+            let code =
+              if hi >= 0xD800 && hi <= 0xDBFF then begin
+                (* high surrogate: a \uXXXX low surrogate must follow *)
+                if
+                  c.pos + 1 < String.length c.s
+                  && c.s.[c.pos] = '\\'
+                  && c.s.[c.pos + 1] = 'u'
+                then begin
+                  c.pos <- c.pos + 2;
+                  let lo = parse_hex4 c in
+                  if lo < 0xDC00 || lo > 0xDFFF then
+                    fail "invalid low surrogate";
+                  0x10000 + (((hi - 0xD800) lsl 10) lor (lo - 0xDC00))
+                end
+                else fail "lone high surrogate"
+              end
+              else hi
+            in
+            add_utf8 buf code;
+            loop ()
+        | e -> fail "invalid escape \\%c" e)
+    | c -> Buffer.add_char buf c; loop ()
+  in
+  loop ()
+
+let parse_number c =
+  let start = c.pos in
+  let is_num ch =
+    match ch with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while c.pos < String.length c.s && is_num c.s.[c.pos] do
+    c.pos <- c.pos + 1
+  done;
+  let text = String.sub c.s start (c.pos - start) in
+  match int_of_string_opt text with
+  | Some i -> Int i
+  | None -> (
+      match float_of_string_opt text with
+      | Some f -> Float f
+      | None -> fail "invalid number %S at offset %d" text start)
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> fail "empty input"
+  | Some '"' -> String (parse_string c)
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some 'n' -> literal c "null" Null
+  | Some '{' ->
+      expect c '{';
+      skip_ws c;
+      if peek c = Some '}' then begin
+        c.pos <- c.pos + 1;
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws c;
+          let k = parse_string c in
+          skip_ws c;
+          expect c ':';
+          let v = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              c.pos <- c.pos + 1;
+              members ((k, v) :: acc)
+          | Some '}' ->
+              c.pos <- c.pos + 1;
+              List.rev ((k, v) :: acc)
+          | _ -> fail "expected ',' or '}' at offset %d" c.pos
+        in
+        Obj (members [])
+      end
+  | Some '[' ->
+      expect c '[';
+      skip_ws c;
+      if peek c = Some ']' then begin
+        c.pos <- c.pos + 1;
+        List []
+      end
+      else begin
+        let rec elements acc =
+          let v = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              c.pos <- c.pos + 1;
+              elements (v :: acc)
+          | Some ']' ->
+              c.pos <- c.pos + 1;
+              List.rev (v :: acc)
+          | _ -> fail "expected ',' or ']' at offset %d" c.pos
+        in
+        List (elements [])
+      end
+  | Some _ -> parse_number c
+
+let of_string s =
+  let c = { s; pos = 0 } in
+  let v = parse_value c in
+  skip_ws c;
+  if c.pos <> String.length s then
+    fail "trailing garbage at offset %d" c.pos;
+  v
+
+(* --- accessors ----------------------------------------------------------- *)
+
+let member key = function Obj kvs -> List.assoc_opt key kvs | _ -> None
+
+let string_field ?default key obj =
+  match (member key obj, default) with
+  | Some (String s), _ -> s
+  | Some v, _ -> fail "field %S: expected a string, got %s" key (to_string v)
+  | None, Some d -> d
+  | None, None -> fail "missing field %S" key
+
+let int_field ?default key obj =
+  match (member key obj, default) with
+  | Some (Int i), _ -> i
+  | Some v, _ -> fail "field %S: expected an int, got %s" key (to_string v)
+  | None, Some d -> d
+  | None, None -> fail "missing field %S" key
+
+let bool_field ?default key obj =
+  match (member key obj, default) with
+  | Some (Bool b), _ -> b
+  | Some v, _ -> fail "field %S: expected a bool, got %s" key (to_string v)
+  | None, Some d -> d
+  | None, None -> fail "missing field %S" key
+
+let opt_int_field key obj =
+  match member key obj with
+  | Some (Int i) -> Some i
+  | Some Null | None -> None
+  | Some v -> fail "field %S: expected an int, got %s" key (to_string v)

@@ -1,0 +1,31 @@
+(** Minimal JSON values for the serve daemon's line protocol — standard
+    grammar, exact int/float distinction, no external dependency.
+    [to_string] emits a single line (strings are escaped); [of_string]
+    accepts any standard JSON document. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val to_string : t -> string
+val of_string : string -> t
+(** Raises {!Parse_error} on malformed input (including trailing
+    garbage after the document). *)
+
+val member : string -> t -> t option
+(** Object field lookup; [None] on missing key or non-object. *)
+
+val string_field : ?default:string -> string -> t -> string
+val int_field : ?default:int -> string -> t -> int
+val bool_field : ?default:bool -> string -> t -> bool
+val opt_int_field : string -> t -> int option
+(** Typed field accessors; raise {!Parse_error} on a type mismatch, and
+    on a missing key unless a [default] is given ([opt_int_field] maps
+    missing/null to [None]). *)

@@ -72,7 +72,8 @@ let test_domain_count_independent () =
 let test_verify_runs_in_batch () =
   (* default_options has verify = true; a batch over a clean program
      must not raise, and flipping a program to a broken options record
-     must surface the job's exception in the caller. *)
+     must surface the job's exception in the caller — wrapped in
+     Job_error so the failure names its job. *)
   let g = graph "tiny" in
   let good = options Pimcomp.Mode.Low_latency Pimcomp.Compile.Puma_like in
   let rs = Pimcomp.Compile.batch ~jobs:2 hw [ (g, good); (g, good) ] in
@@ -81,7 +82,50 @@ let test_verify_runs_in_batch () =
     Pimcomp.Compile.batch ~jobs:2 hw [ (g, { good with parallelism = 0 }) ]
   with
   | _ -> Alcotest.fail "expected batch to re-raise the job's exception"
-  | exception Invalid_argument _ -> ()
+  | exception
+      Pimcomp.Compile.Job_error { exn = Invalid_argument _; _ } ->
+      ()
+
+(* A failing job must be attributed: Job_error carries the job's index
+   in the work list, the graph's name, and the original exception. *)
+let test_job_attribution () =
+  let good = options Pimcomp.Mode.Low_latency Pimcomp.Compile.Puma_like in
+  let work =
+    [
+      (graph "tiny", good);
+      (graph "mlp", { good with parallelism = 0 });
+      (graph "lenet", good);
+    ]
+  in
+  List.iter
+    (fun jobs ->
+      match Pimcomp.Compile.batch ~jobs hw work with
+      | _ -> Alcotest.fail "expected the broken job to raise"
+      | exception Pimcomp.Compile.Job_error { index; graph; exn } ->
+          Alcotest.(check int) "failing job's index" 1 index;
+          Alcotest.(check string) "failing job's graph" "mlp" graph;
+          (match exn with
+          | Invalid_argument _ -> ()
+          | e ->
+              Alcotest.failf "wrapped exception: %s" (Printexc.to_string e));
+          (* The registered printer names the job. *)
+          let printed =
+            Printexc.to_string
+              (Pimcomp.Compile.Job_error { index; graph; exn })
+          in
+          let contains ~sub s =
+            let n = String.length sub in
+            let found = ref false in
+            for i = 0 to String.length s - n do
+              if String.sub s i n = sub then found := true
+            done;
+            !found
+          in
+          Alcotest.(check bool)
+            (Fmt.str "printer mentions the graph: %s" printed)
+            true
+            (contains ~sub:"mlp" printed && contains ~sub:"1" printed))
+    [ 1; 3 ]
 
 let () =
   Alcotest.run "batch"
@@ -94,5 +138,7 @@ let () =
             test_domain_count_independent;
           Alcotest.test_case "verify inside batch" `Quick
             test_verify_runs_in_batch;
+          Alcotest.test_case "failure attribution" `Quick
+            test_job_attribution;
         ] );
     ]

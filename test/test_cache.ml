@@ -1,0 +1,336 @@
+(* Tests for the content-addressed compile cache and its supporting
+   layers: the pimart artifact container (exact round-trips, checksum
+   rejection of poisoned bytes), the canonical field digest (order
+   independence, injective rendering), cache-key sensitivity, the
+   verify-on-load hit path, LRU eviction, and the crash-safety of the
+   shared atomic writer. *)
+
+let hw = Pimhw.Config.puma_like
+
+let graph name = Nnir.Zoo.build ~input_size:(Nnir.Zoo.min_input_size name) name
+
+let fast_ga =
+  Pimcomp.Compile.Genetic_algorithm
+    {
+      Pimcomp.Genetic.default_params with
+      population = 8;
+      iterations = 6;
+      patience = None;
+    }
+
+let options ?(seed = 7) ?(mode = Pimcomp.Mode.Low_latency)
+    ?(allocator = Pimcomp.Memalloc.Ag_reuse)
+    ?(strategy = Pimcomp.Compile.Puma_like) () =
+  {
+    Pimcomp.Compile.default_options with
+    mode;
+    parallelism = 20;
+    seed;
+    allocator;
+    strategy;
+  }
+
+let compile ?seed ?mode ?allocator ?strategy name =
+  let options = options ?seed ?mode ?allocator ?strategy () in
+  (Pimcomp.Compile.compile ~options hw (graph name)).Pimcomp.Compile.program
+
+let dummy_key = String.make 32 'a'
+
+(* Fresh scratch directory per test; tests clean up after themselves
+   but a unique name keeps reruns independent either way. *)
+let scratch =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Fmt.str "pimcomp-test-cache.%d.%d" (Unix.getpid ()) !counter)
+    in
+    if not (Sys.file_exists dir) then Unix.mkdir dir 0o700;
+    dir
+
+(* --- artifact container ----------------------------------------------------- *)
+
+let test_artifact_roundtrip_zoo () =
+  List.iter
+    (fun (name, mode) ->
+      let program = compile ~mode name in
+      let a = Pimcomp.Artifact.make ~key:dummy_key program in
+      let b = Pimcomp.Artifact.of_string (Pimcomp.Artifact.to_string a) in
+      Alcotest.(check bool)
+        (Fmt.str "%s round-trips exactly" name)
+        true (a = b))
+    [
+      ("tiny", Pimcomp.Mode.High_throughput);
+      ("tiny", Pimcomp.Mode.Low_latency);
+      ("mlp", Pimcomp.Mode.Low_latency);
+      ("lenet", Pimcomp.Mode.High_throughput);
+    ]
+
+(* Random mappings: Random_search with arbitrary seeds explores the
+   chromosome space, so the marshalled payloads differ per case while
+   the container must stay exact. *)
+let test_artifact_roundtrip_random =
+  QCheck.Test.make ~count:25 ~name:"artifact round-trip, random mappings"
+    QCheck.(
+      pair (int_range 0 10_000)
+        (pair bool (int_range 0 2)))
+    (fun (seed, (ht, alloc)) ->
+      let mode =
+        if ht then Pimcomp.Mode.High_throughput else Pimcomp.Mode.Low_latency
+      in
+      let allocator =
+        match alloc with
+        | 0 -> Pimcomp.Memalloc.Naive
+        | 1 -> Pimcomp.Memalloc.Add_reuse
+        | _ -> Pimcomp.Memalloc.Ag_reuse
+      in
+      let strategy =
+        Pimcomp.Compile.Random_search
+          {
+            Pimcomp.Genetic.default_params with
+            population = 4;
+            iterations = 3;
+            patience = None;
+          }
+      in
+      let program = compile ~seed ~mode ~allocator ~strategy "tiny" in
+      let a = Pimcomp.Artifact.make ~key:dummy_key program in
+      a = Pimcomp.Artifact.of_string (Pimcomp.Artifact.to_string a))
+
+let test_artifact_rejects_corruption () =
+  let program = compile "tiny" in
+  let a = Pimcomp.Artifact.make ~key:dummy_key program in
+  let text = Pimcomp.Artifact.to_string a in
+  let corrupt label s =
+    match Pimcomp.Artifact.of_string s with
+    | _ -> Alcotest.failf "%s: accepted corrupt container" label
+    | exception Pimcomp.Artifact.Corrupt _ -> ()
+  in
+  corrupt "empty" "";
+  corrupt "bad magic" ("x" ^ text);
+  corrupt "truncated payload" (String.sub text 0 (String.length text - 3));
+  corrupt "trailing bytes" (text ^ "z");
+  (* Single bit flip deep in the marshalled payload: the checksum must
+     catch it before the bytes reach the unmarshaller. *)
+  let b = Bytes.of_string text in
+  let i = Bytes.length b - 5 in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 1));
+  corrupt "bit flip" (Bytes.to_string b)
+
+let test_artifact_key_validation () =
+  let program = compile "tiny" in
+  List.iter
+    (fun bad ->
+      match Pimcomp.Artifact.make ~key:bad program with
+      | _ -> Alcotest.failf "accepted bad key %S" bad
+      | exception Invalid_argument _ -> ())
+    [ ""; "abc"; String.make 32 'G'; String.make 33 'a' ]
+
+(* --- canonical digest ------------------------------------------------------- *)
+
+let test_digest_order_independent () =
+  let fields =
+    [ ("graph", "tiny"); ("mode", "LL"); ("seed", "42"); ("hw.rows", "128") ]
+  in
+  let d = Pimcomp.Cache.digest_fields fields in
+  Alcotest.(check string) "reversed field order" d
+    (Pimcomp.Cache.digest_fields (List.rev fields));
+  Alcotest.(check string) "shuffled field order" d
+    (Pimcomp.Cache.digest_fields
+       [ ("seed", "42"); ("hw.rows", "128"); ("graph", "tiny"); ("mode", "LL") ])
+
+let test_digest_injective_rendering () =
+  (* Naive "k=v;" concatenation would alias these pairs; the
+     length-prefixed rendering must not. *)
+  let d1 = Pimcomp.Cache.digest_fields [ ("a", "b=c") ] in
+  let d2 = Pimcomp.Cache.digest_fields [ ("a=b", "c") ] in
+  Alcotest.(check bool) "boundary moves change the digest" true (d1 <> d2);
+  let d3 = Pimcomp.Cache.digest_fields [ ("a", "b;c") ] in
+  let d4 = Pimcomp.Cache.digest_fields [ ("a", "b"); ("c", "") ] in
+  Alcotest.(check bool) "separator bytes in values" true (d3 <> d4)
+
+let test_cache_key_sensitivity () =
+  let g = graph "tiny" in
+  let base = options () in
+  let key o = Pimcomp.Compile.cache_key ~options:o hw g in
+  let k0 = key base in
+  Alcotest.(check string) "deterministic" k0 (key base);
+  (* Program-invariant fields must not move the key. *)
+  Alcotest.(check string) "verify flag excluded" k0
+    (key { base with Pimcomp.Compile.verify = false });
+  Alcotest.(check string) "cache location excluded" k0
+    (key { base with Pimcomp.Compile.cache = `Dir "/somewhere" });
+  (* Semantically relevant fields must. *)
+  let differs label o =
+    Alcotest.(check bool) label true (key o <> k0)
+  in
+  differs "seed" { base with Pimcomp.Compile.seed = 8 };
+  differs "mode" { base with Pimcomp.Compile.mode = Pimcomp.Mode.High_throughput };
+  differs "parallelism" { base with Pimcomp.Compile.parallelism = 4 };
+  differs "allocator"
+    { base with Pimcomp.Compile.allocator = Pimcomp.Memalloc.Naive };
+  differs "strategy" { base with Pimcomp.Compile.strategy = fast_ga };
+  (* Different graph, different hardware. *)
+  Alcotest.(check bool) "graph" true
+    (Pimcomp.Compile.cache_key ~options:base hw (graph "mlp") <> k0);
+  Alcotest.(check bool) "hardware" true
+    (Pimcomp.Compile.cache_key ~options:base
+       { hw with Pimhw.Config.xbar_rows = hw.Pimhw.Config.xbar_rows * 2 }
+       g
+    <> k0)
+
+(* --- cache behaviour -------------------------------------------------------- *)
+
+let test_cold_warm_evict () =
+  let dir = scratch () in
+  let opts = { (options ()) with Pimcomp.Compile.cache = `Dir dir } in
+  let g = graph "tiny" in
+  (* Cold: full compile, stored. *)
+  let cold = Pimcomp.Compile.compile_program ~options:opts hw g in
+  Alcotest.(check string) "first request misses" "miss"
+    (Pimcomp.Compile.outcome_name cold.Pimcomp.Compile.outcome);
+  Alcotest.(check bool) "miss carries the full record" true
+    (cold.Pimcomp.Compile.result <> None);
+  (* Warm: loaded, verified, bit-identical. *)
+  let warm = Pimcomp.Compile.compile_program ~options:opts hw g in
+  Alcotest.(check string) "second request hits" "hit"
+    (Pimcomp.Compile.outcome_name warm.Pimcomp.Compile.outcome);
+  Alcotest.(check bool) "hit program bit-identical to the fresh compile"
+    true
+    (warm.Pimcomp.Compile.program = cold.Pimcomp.Compile.program);
+  Alcotest.(check bool) "hit and miss agree on the key" true
+    (warm.Pimcomp.Compile.key = cold.Pimcomp.Compile.key);
+  (* Eviction: a 1-byte budget keeps only the newest entry. *)
+  let cache = Pimcomp.Cache.open_dir ~max_bytes:1 dir in
+  let mlp = compile "mlp" in
+  let mlp_key =
+    Pimcomp.Compile.cache_key ~options:(options ()) hw (graph "mlp")
+  in
+  Pimcomp.Cache.store cache ~key:mlp_key mlp;
+  let stats = Pimcomp.Cache.stats cache in
+  Alcotest.(check int) "older entry evicted" 1 stats.Pimcomp.Cache.entries;
+  Alcotest.(check bool) "eviction counted" true
+    (stats.Pimcomp.Cache.evictions >= 1);
+  Alcotest.(check bool) "newest entry survives and serves" true
+    (Pimcomp.Cache.find cache ~key:mlp_key ~graph:(graph "mlp") ~config:hw ()
+    <> None);
+  Alcotest.(check int) "clear removes the survivor" 1
+    (Pimcomp.Cache.clear cache)
+
+let test_poisoned_entry_rejected () =
+  let dir = scratch () in
+  let cache = Pimcomp.Cache.open_dir dir in
+  let g = graph "tiny" in
+  let opts = options () in
+  let key = Pimcomp.Compile.cache_key ~options:opts hw g in
+  let program = compile "tiny" in
+  Pimcomp.Cache.store cache ~key program;
+  let path = Filename.concat dir (key ^ ".pimart") in
+  Alcotest.(check bool) "entry on disk" true (Sys.file_exists path);
+  (* Poison the stored artifact with a single bit flip near the end of
+     the marshalled payload. *)
+  let text = In_channel.with_open_bin path In_channel.input_all in
+  let b = Bytes.of_string text in
+  let i = Bytes.length b - 7 in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x10));
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_bytes oc b);
+  (match Pimcomp.Cache.find cache ~key ~graph:g ~config:hw () with
+  | Some _ -> Alcotest.fail "poisoned entry must never be served"
+  | None -> ());
+  let stats = Pimcomp.Cache.stats cache in
+  Alcotest.(check int) "rejection counted" 1 stats.Pimcomp.Cache.rejected;
+  Alcotest.(check int) "rejection is a miss" 1 stats.Pimcomp.Cache.misses;
+  Alcotest.(check bool) "poisoned file deleted (self-healing)" false
+    (Sys.file_exists path);
+  (* The cache heals: a recompile stores a clean entry, served again. *)
+  Pimcomp.Cache.store cache ~key program;
+  (match Pimcomp.Cache.find cache ~key ~graph:g ~config:hw () with
+  | Some loaded ->
+      Alcotest.(check bool) "healed entry bit-identical" true
+        (loaded = program)
+  | None -> Alcotest.fail "healed entry must serve");
+  ignore (Pimcomp.Cache.clear cache)
+
+let test_wrong_key_rejected () =
+  let dir = scratch () in
+  let cache = Pimcomp.Cache.open_dir dir in
+  let g = graph "tiny" in
+  let program = compile "tiny" in
+  let key = Pimcomp.Compile.cache_key ~options:(options ()) hw g in
+  (* An artifact whose internal key disagrees with its file name (e.g. a
+     renamed or hand-copied entry) must be rejected. *)
+  Pimcomp.Artifact.to_file
+    (Filename.concat dir (key ^ ".pimart"))
+    (Pimcomp.Artifact.make ~key:dummy_key program);
+  (match Pimcomp.Cache.find cache ~key ~graph:g ~config:hw () with
+  | Some _ -> Alcotest.fail "key mismatch must be rejected"
+  | None -> ());
+  Alcotest.(check int) "rejection counted" 1
+    (Pimcomp.Cache.stats cache).Pimcomp.Cache.rejected;
+  ignore (Pimcomp.Cache.clear cache)
+
+(* --- atomic writer ---------------------------------------------------------- *)
+
+exception Writer_died
+
+let test_atomic_write_crash_safety () =
+  let dir = scratch () in
+  let path = Filename.concat dir "out.txt" in
+  Pimutil.Atomic_io.write_text path "first version\n";
+  Alcotest.(check string) "initial write lands" "first version\n"
+    (In_channel.with_open_bin path In_channel.input_all);
+  (* A writer that dies mid-stream must leave the target untouched and
+     no temp file behind. *)
+  (match
+     Pimutil.Atomic_io.write_file path (fun oc ->
+         output_string oc "torn half-writ";
+         raise Writer_died)
+   with
+  | _ -> Alcotest.fail "writer exception must re-raise"
+  | exception Writer_died -> ());
+  Alcotest.(check string) "target untouched after crash" "first version\n"
+    (In_channel.with_open_bin path In_channel.input_all);
+  Alcotest.(check (list string)) "no temp files left" []
+    (Array.to_list (Sys.readdir dir)
+    |> List.filter Pimutil.Atomic_io.is_temp_file);
+  Sys.remove path
+
+let () =
+  Alcotest.run "cache"
+    [
+      ( "artifact",
+        [
+          Alcotest.test_case "zoo round-trips" `Quick
+            test_artifact_roundtrip_zoo;
+          QCheck_alcotest.to_alcotest test_artifact_roundtrip_random;
+          Alcotest.test_case "corruption rejected" `Quick
+            test_artifact_rejects_corruption;
+          Alcotest.test_case "key validation" `Quick
+            test_artifact_key_validation;
+        ] );
+      ( "digest",
+        [
+          Alcotest.test_case "order independent" `Quick
+            test_digest_order_independent;
+          Alcotest.test_case "injective rendering" `Quick
+            test_digest_injective_rendering;
+          Alcotest.test_case "cache-key sensitivity" `Quick
+            test_cache_key_sensitivity;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "cold, warm, evict" `Quick test_cold_warm_evict;
+          Alcotest.test_case "poisoned entry rejected" `Quick
+            test_poisoned_entry_rejected;
+          Alcotest.test_case "wrong key rejected" `Quick
+            test_wrong_key_rejected;
+        ] );
+      ( "atomic-io",
+        [
+          Alcotest.test_case "crash safety" `Quick
+            test_atomic_write_crash_safety;
+        ] );
+    ]

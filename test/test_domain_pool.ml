@@ -60,6 +60,78 @@ let test_exception_propagation () =
           (Array.for_all Fun.id seen))
     [ 1; 2; 5 ]
 
+exception Spawn_refused
+
+(* Domain.spawn itself can fail (thread/domain limits).  The pool used
+   to leak the domains spawned before the failure; now it parks the
+   work counter, joins every survivor, and re-raises.  The spawn hook
+   counts started workers and a completion cell per worker proves each
+   one finished before the exception reached the caller. *)
+let test_partial_spawn_failure () =
+  let allowed = 2 in
+  let started = Atomic.make 0 in
+  let finished = Atomic.make 0 in
+  let spawn body =
+    if Atomic.fetch_and_add started 1 >= allowed then raise Spawn_refused;
+    Domain.spawn (fun () ->
+        body ();
+        Atomic.incr finished)
+  in
+  let items = Array.init 64 (fun i -> i) in
+  (match
+     Pimutil.Domain_pool.map ~domains:8 ~spawn (fun i -> i * 2) items
+   with
+  | _ -> Alcotest.fail "spawn failure must re-raise in the caller"
+  | exception Spawn_refused -> ());
+  Alcotest.(check int) "spawn attempts" (allowed + 1) (Atomic.get started);
+  Alcotest.(check int)
+    "every spawned worker joined before the re-raise" allowed
+    (Atomic.get finished)
+
+(* The persistent pool must give map's slot-ordering and exception
+   contract across many batches on the same warm domains. *)
+let test_persistent_pool () =
+  let init_runs = Atomic.make 0 in
+  let pool =
+    Pimutil.Domain_pool.Persistent.create ~domains:3
+      ~init:(fun () -> Atomic.incr init_runs)
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Pimutil.Domain_pool.Persistent.shutdown pool)
+    (fun () ->
+      Alcotest.(check int) "domain count" 3
+        (Pimutil.Domain_pool.Persistent.domain_count pool);
+      for round = 1 to 5 do
+        let items = Array.init (round * 13) (fun i -> i) in
+        let got =
+          Pimutil.Domain_pool.Persistent.run pool (fun i -> (i * i) + round)
+            items
+        in
+        Alcotest.(check (array int))
+          (Fmt.str "round %d slot order" round)
+          (Array.map (fun i -> (i * i) + round) items)
+          got
+      done;
+      (match
+         Pimutil.Domain_pool.Persistent.run pool
+           (fun i -> if i = 3 then raise (Boom i) else i)
+           (Array.init 8 (fun i -> i))
+       with
+      | _ -> Alcotest.fail "worker exception must reach the caller"
+      | exception Boom 3 -> ());
+      (* The pool survives a failing batch. *)
+      Alcotest.(check (array int))
+        "pool usable after a failing batch" [| 0; 2; 4 |]
+        (Pimutil.Domain_pool.Persistent.run pool (fun i -> 2 * i)
+           [| 0; 1; 2 |]));
+  (* Workers are joined by now, so every init has run exactly once. *)
+  Alcotest.(check int) "init ran once per worker" 3 (Atomic.get init_runs);
+  (* After shutdown, run refuses. *)
+  match Pimutil.Domain_pool.Persistent.run pool (fun i -> i) [| 1 |] with
+  | _ -> Alcotest.fail "run after shutdown must raise"
+  | exception Invalid_argument _ -> ()
+
 let () =
   Alcotest.run "domain_pool"
     [
@@ -71,5 +143,9 @@ let () =
           Alcotest.test_case "map_list" `Quick test_map_list;
           Alcotest.test_case "exception propagation" `Quick
             test_exception_propagation;
+          Alcotest.test_case "partial spawn failure" `Quick
+            test_partial_spawn_failure;
         ] );
+      ( "persistent",
+        [ Alcotest.test_case "warm pool" `Quick test_persistent_pool ] );
     ]
