@@ -106,6 +106,23 @@ let section name f =
   Fmt.pr "@.%s@.== %s@.%s@." hr name hr;
   f ()
 
+(* One warm worker pool shared by every sweep section (and the synth
+   bench's searches): repeated sweeps reuse the same domains instead of
+   spawning and joining a fresh pool per map call.  Forced lazily so
+   sections that never sweep don't spawn workers; shut down by the
+   driver after the last section. *)
+let sweep_pool = lazy (Pimsim.Parallel_sweep.create_pool ())
+
+let pool_map f items =
+  Pimsim.Parallel_sweep.pool_map (Lazy.force sweep_pool) f items
+
+let pool_map_list f items =
+  Pimsim.Parallel_sweep.pool_map_list (Lazy.force sweep_pool) f items
+
+let shutdown_sweep_pool () =
+  if Lazy.is_val sweep_pool then
+    Pimsim.Parallel_sweep.shutdown_pool (Lazy.force sweep_pool)
+
 (* --- Table I ---------------------------------------------------------------- *)
 
 let table1 () =
@@ -140,7 +157,7 @@ let fig8 () =
          networks)
   in
   let rows =
-    Pimsim.Parallel_sweep.map
+    pool_map
       (fun (net, parallelism) ->
         let _, ht_ga =
           compile_and_sim ~mode:Pimcomp.Mode.High_throughput ~strategy:ga
@@ -242,7 +259,7 @@ let fig10 () =
      paper).  LL: peak on-chip memory vs the 64 kB scratchpad.@.@.";
   warm_graphs networks;
   let rows =
-    Pimsim.Parallel_sweep.map_list
+    pool_map_list
       (fun net ->
         let traffic allocator =
           let r, _ =
@@ -372,7 +389,7 @@ let ablation () =
       (fun net -> List.map (fun mode -> (net, mode)) Pimcomp.Mode.all)
       strategy_nets
   in
-  Pimsim.Parallel_sweep.map_list
+  pool_map_list
     (fun (net, mode) ->
       let time strategy =
         let _, m = compile_and_sim ~mode ~strategy ~parallelism:8 net in
@@ -393,7 +410,7 @@ let ablation () =
     "@.Objective ablation: time-only vs energy-delay-product GA (LL, P=8).@.@.";
   Fmt.pr "%-14s | %12s %12s | %12s %12s@." "network" "time: us" "uJ"
     "edp: us" "uJ";
-  Pimsim.Parallel_sweep.map_list
+  pool_map_list
     (fun net ->
       let run objective =
         let options =
@@ -1449,6 +1466,213 @@ let micro () =
         analysis)
     tests
 
+(* --- synth ------------------------------------------------------------------- *)
+
+(* Design-space synthesis throughput: candidates/sec with pruning +
+   memoisation vs the naive evaluate-everything baseline, frontier
+   non-domination, and bit-identity of the frontier across evaluator
+   domain counts.  Results land in BENCH_SYNTH.json; PIMCOMP_SIM_TINY=1
+   shrinks the grid and networks for the dune runtest smoke. *)
+let synth_bench () =
+  let tiny = Sys.getenv_opt "PIMCOMP_SIM_TINY" <> None in
+  let synth_networks =
+    if tiny then
+      [|
+        ("tiny", Nnir.Zoo.build ~input_size:8 "tiny");
+        ("mlp", Nnir.Zoo.build "mlp");
+      |]
+    else
+      [|
+        ("squeezenet", Nnir.Zoo.build ~input_size:56 "squeezenet");
+        ("resnet18", Nnir.Zoo.build ~input_size:56 "resnet18");
+      |]
+  in
+  let axes =
+    if tiny then
+      {
+        Pimhw.Design_space.xbar_size_axis = [ 64; 128 ];
+        xbars_per_core_axis = [ 8; 16 ];
+        core_count_axis = [ 4; 9 ];
+        local_memory_kb_axis = [ 32; 64 ];
+        vfus_per_core_axis = [ 12 ];
+      }
+    else
+      {
+        Pimhw.Design_space.xbar_size_axis = [ 64; 128; 256 ];
+        xbars_per_core_axis = [ 32; 64 ];
+        core_count_axis = [ 16; 36 ];
+        local_memory_kb_axis = [ 64; 128 ];
+        vfus_per_core_axis = [ 12 ];
+      }
+  in
+  let params which =
+    {
+      Pimcomp.Synth.default_params with
+      generations = 4;
+      children = 12;
+      prune = (which = `Pruned);
+      memoise = (which = `Pruned);
+    }
+  in
+  let search ~domains which =
+    let pool = Pimsim.Parallel_sweep.create_pool ~domains () in
+    Fun.protect
+      ~finally:(fun () -> Pimsim.Parallel_sweep.shutdown_pool pool)
+      (fun () ->
+        Pimcomp.Synth.run ~params:(params which) ~axes
+          ~networks:synth_networks
+          ~eval:
+            (Pimsim.Synth_eval.evaluator ~pool ~networks:synth_networks ())
+          ())
+  in
+  Fmt.pr "Grid: %d points over 5 axes; %d + 4x12 candidates; networks: %s@."
+    (Pimhw.Design_space.cardinality axes)
+    (Pimhw.Design_space.cardinality axes)
+    (String.concat ", "
+       (Array.to_list (Array.map fst synth_networks)));
+  (* Pruned + memoised search, best of 2 (a GC pause in the fast run
+     would otherwise masquerade as lost search throughput). *)
+  let pruned_a = search ~domains:1 `Pruned in
+  let pruned_b = search ~domains:1 `Pruned in
+  if pruned_a.Pimcomp.Synth.frontier <> pruned_b.Pimcomp.Synth.frontier then
+    failwith "synth: same seed produced two different frontiers";
+  let pruned =
+    if
+      pruned_a.Pimcomp.Synth.stats.Pimcomp.Synth.wall_seconds
+      <= pruned_b.Pimcomp.Synth.stats.Pimcomp.Synth.wall_seconds
+    then pruned_a
+    else pruned_b
+  in
+  (* Naive baseline: no pre-filters, no memo — every candidate pays a
+     full compile+simulate, duplicates included. *)
+  let naive = search ~domains:1 `Naive in
+  (* Determinism across domain counts. *)
+  let many_domains = max 2 (Pimsim.Parallel_sweep.default_domains ()) in
+  let multi = search ~domains:many_domains `Pruned in
+  let frontier = pruned.Pimcomp.Synth.frontier in
+  Fmt.pr "@.Pareto frontier (%d points):@." (List.length frontier);
+  Fmt.pr "%-22s | %12s %12s %10s@." "point" "time us" "energy uJ" "area mm2";
+  List.iter
+    (fun (fp : Pimcomp.Synth.frontier_point) ->
+      Fmt.pr "%-22s | %12.2f %12.2f %10.2f@."
+        (Pimhw.Design_space.point_name fp.Pimcomp.Synth.point)
+        (fp.Pimcomp.Synth.objectives.Pimcomp.Synth.time_ns /. 1e3)
+        (fp.Pimcomp.Synth.objectives.Pimcomp.Synth.energy_pj /. 1e6)
+        fp.Pimcomp.Synth.objectives.Pimcomp.Synth.area_mm2)
+    frontier;
+  let rate (r : Pimcomp.Synth.result) =
+    float_of_int r.Pimcomp.Synth.stats.Pimcomp.Synth.considered
+    /. max 1e-9 r.Pimcomp.Synth.stats.Pimcomp.Synth.wall_seconds
+  in
+  let pruned_rate = rate pruned and naive_rate = rate naive in
+  let speedup = pruned_rate /. naive_rate in
+  let ps = pruned.Pimcomp.Synth.stats and ns = naive.Pimcomp.Synth.stats in
+  Fmt.pr
+    "@.pruned+memoised: %d considered, %d evaluated (%d jobs), %d memo \
+     hits, %d pruned, %.2f s -> %.1f candidates/s@."
+    ps.Pimcomp.Synth.considered ps.Pimcomp.Synth.evaluated
+    ps.Pimcomp.Synth.eval_jobs ps.Pimcomp.Synth.memo_hits
+    (ps.Pimcomp.Synth.pruned_capacity + ps.Pimcomp.Synth.pruned_area)
+    ps.Pimcomp.Synth.wall_seconds pruned_rate;
+  Fmt.pr
+    "naive baseline: %d considered, %d evaluated (%d jobs), %d infeasible \
+     compiles, %.2f s -> %.1f candidates/s@."
+    ns.Pimcomp.Synth.considered ns.Pimcomp.Synth.evaluated
+    ns.Pimcomp.Synth.eval_jobs ns.Pimcomp.Synth.infeasible
+    ns.Pimcomp.Synth.wall_seconds naive_rate;
+  Fmt.pr "search-throughput speedup: %.2fx (gate: >= 2x)@." speedup;
+  Fmt.pr
+    "frontier identical for 1 vs %d domains: %b  (the CI host is \
+     effectively 1-core, so the multi-domain run is about determinism, \
+     not speed)@."
+    many_domains
+    (frontier = multi.Pimcomp.Synth.frontier);
+  (* Frontier sanity: every point pairwise non-dominated. *)
+  let non_dominated =
+    List.for_all
+      (fun (a : Pimcomp.Synth.frontier_point) ->
+        List.for_all
+          (fun (b : Pimcomp.Synth.frontier_point) ->
+            a == b
+            || not
+                 (Pimcomp.Synth.dominates b.Pimcomp.Synth.objectives
+                    a.Pimcomp.Synth.objectives))
+          frontier)
+      frontier
+  in
+  let deterministic = frontier = multi.Pimcomp.Synth.frontier in
+  let invariant = frontier = naive.Pimcomp.Synth.frontier in
+  write_json "BENCH_SYNTH.json" (fun json ->
+      let strings l = String.concat ", " (List.map (Fmt.str "%S") l) in
+      Format.fprintf json
+        "{@.  \"tiny\": %b,@.  \"networks\": [%s],@.  \"grid_points\": %d,@."
+        tiny
+        (strings (Array.to_list (Array.map fst synth_networks)))
+        (Pimhw.Design_space.cardinality axes);
+      Format.fprintf json
+        "  \"axes\": { \"xbar_sizes\": [%s], \"xbars_per_core\": [%s], \
+         \"core_counts\": [%s], \"local_memory_kb\": [%s], \
+         \"vfus_per_core\": [%s] },@."
+        (String.concat ", "
+           (List.map string_of_int axes.Pimhw.Design_space.xbar_size_axis))
+        (String.concat ", "
+           (List.map string_of_int axes.Pimhw.Design_space.xbars_per_core_axis))
+        (String.concat ", "
+           (List.map string_of_int axes.Pimhw.Design_space.core_count_axis))
+        (String.concat ", "
+           (List.map string_of_int axes.Pimhw.Design_space.local_memory_kb_axis))
+        (String.concat ", "
+           (List.map string_of_int axes.Pimhw.Design_space.vfus_per_core_axis));
+      Format.fprintf json "  \"frontier\": [@.";
+      List.iteri
+        (fun i (fp : Pimcomp.Synth.frontier_point) ->
+          let o = fp.Pimcomp.Synth.objectives in
+          Format.fprintf json
+            "    { \"point\": %S, \"time_ns\": %.6f, \"energy_pj\": %.6f, \
+             \"area_mm2\": %.6f }%s@."
+            (Pimhw.Design_space.point_name fp.Pimcomp.Synth.point)
+            o.Pimcomp.Synth.time_ns o.Pimcomp.Synth.energy_pj
+            o.Pimcomp.Synth.area_mm2
+            (if i = List.length frontier - 1 then "" else ","))
+        frontier;
+      Format.fprintf json "  ],@.";
+      let stats label (s : Pimcomp.Synth.stats) rate =
+        Format.fprintf json
+          "  \"%s\": { \"considered\": %d, \"evaluated\": %d, \
+           \"eval_jobs\": %d, \"memo_hits\": %d, \"pruned_capacity\": %d, \
+           \"pruned_area\": %d, \"infeasible\": %d, \"wall_seconds\": %.6f, \
+           \"candidates_per_sec\": %.2f },@."
+          label s.Pimcomp.Synth.considered s.Pimcomp.Synth.evaluated
+          s.Pimcomp.Synth.eval_jobs s.Pimcomp.Synth.memo_hits
+          s.Pimcomp.Synth.pruned_capacity s.Pimcomp.Synth.pruned_area
+          s.Pimcomp.Synth.infeasible s.Pimcomp.Synth.wall_seconds rate
+      in
+      stats "pruned" ps pruned_rate;
+      stats "naive" ns naive_rate;
+      Format.fprintf json
+        "  \"speedup\": %.3f,@.  \"meets_2x\": %b,@.  \
+         \"frontier_non_dominated\": %b,@.  \"prune_memoise_invariant\": \
+         %b,@.  \"domain_counts\": [1, %d],@.  \
+         \"deterministic_across_domains\": %b,@.  \"note\": \"CI host is \
+         effectively 1-core: the multi-domain run asserts determinism, \
+         not speed\"@.}@."
+        speedup (speedup >= 2.0) non_dominated invariant many_domains
+        deterministic);
+  if frontier = [] then failwith "synth: empty frontier";
+  if not non_dominated then
+    failwith "synth: frontier contains a dominated point";
+  if not deterministic then
+    failwith
+      (Fmt.str "synth: frontier differs between 1 and %d domains"
+         many_domains);
+  if not invariant then
+    failwith "synth: pruning/memoisation changed the frontier";
+  if speedup < 2.0 then
+    failwith
+      (Fmt.str
+         "synth: pruning+memoisation speedup %.2fx below the 2x gate"
+         speedup)
+
 (* --- driver ------------------------------------------------------------------- *)
 
 let sections : (string * (unit -> unit)) list =
@@ -1466,6 +1690,7 @@ let sections : (string * (unit -> unit)) list =
     ("cache", cache_bench);
     ("batch", batch);
     ("micro", micro);
+    ("synth", synth_bench);
   ]
 
 let () =
@@ -1474,6 +1699,7 @@ let () =
     | _ :: (_ :: _ as names) -> names
     | _ -> List.map fst sections
   in
+  Fun.protect ~finally:shutdown_sweep_pool @@ fun () ->
   List.iter
     (fun name ->
       match List.assoc_opt name sections with

@@ -866,13 +866,300 @@ let cache_cmd =
           (newest first), clear, or evict down to --cache-max-mb.")
     Term.(term_result (const run $ action_arg $ dir_arg $ cache_max_mb_arg))
 
+(* --- synth: multi-objective hardware design-space search -------------------- *)
+
+let synth_point_json (p : Pimhw.Design_space.point) =
+  Pimutil.Json.Obj
+    [
+      ("name", Pimutil.Json.String (Pimhw.Design_space.point_name p));
+      ("xbar_size", Pimutil.Json.Int p.Pimhw.Design_space.xbar_size);
+      ("xbars_per_core", Pimutil.Json.Int p.Pimhw.Design_space.xbars_per_core);
+      ("core_count", Pimutil.Json.Int p.Pimhw.Design_space.core_count);
+      ("local_memory_kb", Pimutil.Json.Int p.Pimhw.Design_space.local_memory_kb);
+      ("vfus_per_core", Pimutil.Json.Int p.Pimhw.Design_space.vfus_per_core);
+    ]
+
+let synth_frontier_json (fp : Pimcomp.Synth.frontier_point) =
+  let o = fp.Pimcomp.Synth.objectives in
+  Pimutil.Json.Obj
+    [
+      ("point", synth_point_json fp.Pimcomp.Synth.point);
+      ("time_ns", Pimutil.Json.Float o.Pimcomp.Synth.time_ns);
+      ("energy_pj", Pimutil.Json.Float o.Pimcomp.Synth.energy_pj);
+      ("area_mm2", Pimutil.Json.Float o.Pimcomp.Synth.area_mm2);
+      ( "per_network",
+        Pimutil.Json.List
+          (Array.to_list
+             (Array.map
+                (fun (name, time_ns, energy_pj) ->
+                  Pimutil.Json.Obj
+                    [
+                      ("network", Pimutil.Json.String name);
+                      ("time_ns", Pimutil.Json.Float time_ns);
+                      ("energy_pj", Pimutil.Json.Float energy_pj);
+                    ])
+                fp.Pimcomp.Synth.per_network)) );
+    ]
+
+let synth_stats_json (s : Pimcomp.Synth.stats) =
+  Pimutil.Json.Obj
+    [
+      ("considered", Pimutil.Json.Int s.Pimcomp.Synth.considered);
+      ("evaluated", Pimutil.Json.Int s.Pimcomp.Synth.evaluated);
+      ("eval_jobs", Pimutil.Json.Int s.Pimcomp.Synth.eval_jobs);
+      ("memo_hits", Pimutil.Json.Int s.Pimcomp.Synth.memo_hits);
+      ("pruned_capacity", Pimutil.Json.Int s.Pimcomp.Synth.pruned_capacity);
+      ("pruned_area", Pimutil.Json.Int s.Pimcomp.Synth.pruned_area);
+      ("infeasible", Pimutil.Json.Int s.Pimcomp.Synth.infeasible);
+      ("dominated", Pimutil.Json.Int s.Pimcomp.Synth.dominated);
+      ("generations", Pimutil.Json.Int s.Pimcomp.Synth.generations);
+      ("wall_seconds", Pimutil.Json.Float s.Pimcomp.Synth.wall_seconds);
+      ("eval_seconds", Pimutil.Json.Float s.Pimcomp.Synth.eval_seconds);
+      ( "candidates_per_sec",
+        Pimutil.Json.Float
+          (if s.Pimcomp.Synth.wall_seconds > 0.0 then
+             float_of_int s.Pimcomp.Synth.considered
+             /. s.Pimcomp.Synth.wall_seconds
+           else 0.0) );
+    ]
+
+let synth_result_json ~mode ~seed (r : Pimcomp.Synth.result) =
+  Pimutil.Json.Obj
+    [
+      ("mode", Pimutil.Json.String (Pimcomp.Mode.to_string mode));
+      ("seed", Pimutil.Json.Int seed);
+      ( "frontier",
+        Pimutil.Json.List (List.map synth_frontier_json r.Pimcomp.Synth.frontier)
+      );
+      ("stats", synth_stats_json r.Pimcomp.Synth.stats);
+      ( "infeasible",
+        Pimutil.Json.List
+          (List.map
+             (fun (p, reason) ->
+               Pimutil.Json.Obj
+                 [
+                   ("point", synth_point_json p);
+                   ("reason", Pimutil.Json.String reason);
+                 ])
+             r.Pimcomp.Synth.infeasible_points) );
+      ("pruned", Pimutil.Json.Int (List.length r.Pimcomp.Synth.pruned_points));
+    ]
+
+let synth_cmd =
+  let networks_arg =
+    let doc =
+      "Networks to synthesise hardware for: zoo names or .nnt files \
+       (\"zoo\" expands to the whole zoo; default: the paper's benchmark \
+       set)."
+    in
+    Arg.(value & pos_all string [] & info [] ~docv:"NETWORK" ~doc)
+  in
+  let axis_arg names ~docv ~doc default =
+    Arg.(value & opt (list int) default & info names ~docv ~doc)
+  in
+  let xbar_sizes_arg =
+    axis_arg [ "xbar-sizes" ] ~docv:"N,..."
+      ~doc:"Candidate crossbar sizes (square arrays)."
+      Pimhw.Design_space.default_axes.Pimhw.Design_space.xbar_size_axis
+  in
+  let xbars_per_core_arg =
+    axis_arg [ "xbars-per-core" ] ~docv:"N,..."
+      ~doc:"Candidate crossbars-per-core counts."
+      Pimhw.Design_space.default_axes.Pimhw.Design_space.xbars_per_core_axis
+  in
+  let core_counts_arg =
+    axis_arg [ "core-counts" ] ~docv:"N,..."
+      ~doc:
+        "Candidate core counts (the NoC mesh shape follows from the \
+         count: nearest square, ragged last row)."
+      Pimhw.Design_space.default_axes.Pimhw.Design_space.core_count_axis
+  in
+  let local_kb_arg =
+    axis_arg [ "local-kb" ] ~docv:"N,..."
+      ~doc:"Candidate local scratchpad capacities in kB."
+      Pimhw.Design_space.default_axes.Pimhw.Design_space.local_memory_kb_axis
+  in
+  let vfus_arg =
+    axis_arg [ "vfus" ] ~docv:"N,..."
+      ~doc:"Candidate VFU-per-core counts."
+      Pimhw.Design_space.default_axes.Pimhw.Design_space.vfus_per_core_axis
+  in
+  let search_generations_arg =
+    let doc = "Evolution generations after the grid-seed round." in
+    Arg.(value & opt int 8 & info [ "search-generations" ] ~docv:"N" ~doc)
+  in
+  let children_arg =
+    let doc = "Candidates bred per evolution generation." in
+    Arg.(value & opt int 12 & info [ "children" ] ~docv:"N" ~doc)
+  in
+  let area_budget_arg =
+    let doc = "Reject candidates whose chip area exceeds this many mm2." in
+    Arg.(value & opt (some float) None & info [ "area-budget" ] ~docv:"MM2" ~doc)
+  in
+  let no_grid_seed_arg =
+    let doc =
+      "Seed the search with random points instead of the full axes grid."
+    in
+    Arg.(value & flag & info [ "no-grid-seed" ] ~doc)
+  in
+  let no_prune_arg =
+    let doc =
+      "Disable the analytic pre-filters (naive baseline; the frontier is \
+       unchanged, only slower to reach)."
+    in
+    Arg.(value & flag & info [ "no-prune" ] ~doc)
+  in
+  let no_memo_arg =
+    let doc = "Disable evaluation memoisation (naive baseline)." in
+    Arg.(value & flag & info [ "no-memo" ] ~doc)
+  in
+  let domains_arg =
+    let doc =
+      "Warm worker domains evaluating candidates (default: the host's \
+       recommended domain count).  The frontier is bit-identical \
+       whatever the value."
+    in
+    Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
+  in
+  let json_arg =
+    let doc = "Write the frontier and search stats to this JSON file." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let synth_strategy_arg =
+    let doc =
+      "Per-candidate mapping strategy: puma (default — a full GA per \
+       candidate would drown the search), ga or random."
+    in
+    Arg.(value & opt string "puma" & info [ "strategy" ] ~doc)
+  in
+  let run networks input_size mode parallelism allocator strategy seed
+      generations fast objective domains xbar_sizes xbars_per_core core_counts
+      local_kb vfus search_generations children area_budget no_grid_seed
+      no_prune no_memo json_path cache_dir cache_max_mb =
+    wrap (fun () ->
+        let names =
+          match networks with
+          | [] -> Nnir.Zoo.paper_benchmarks
+          | l ->
+              List.concat_map
+                (fun t -> if t = "zoo" then Nnir.Zoo.names else [ t ])
+                l
+        in
+        let networks =
+          Array.of_list
+            (List.map
+               (fun name ->
+                 let graph = load_network name input_size in
+                 (Nnir.Graph.name graph, graph))
+               names)
+        in
+        let axes =
+          {
+            Pimhw.Design_space.xbar_size_axis = xbar_sizes;
+            xbars_per_core_axis = xbars_per_core;
+            core_count_axis = core_counts;
+            local_memory_kb_axis = local_kb;
+            vfus_per_core_axis = vfus;
+          }
+        in
+        let options =
+          build_options ~mode ~parallelism ~cores:None ~allocator
+            ~strategy:(strategy_of_flags strategy fast generations seed)
+            ~seed
+            ~objective:(objective_of_string objective)
+            ()
+        in
+        let params =
+          {
+            Pimcomp.Synth.generations = search_generations;
+            children;
+            seed;
+            grid_seed = not no_grid_seed;
+            area_budget_mm2 = area_budget;
+            prune = not no_prune;
+            memoise = not no_memo;
+          }
+        in
+        let cache = open_cache cache_dir cache_max_mb in
+        let pool = Pimsim.Parallel_sweep.create_pool ?domains () in
+        let pool_domains = Pimsim.Parallel_sweep.pool_domains pool in
+        let result =
+          Fun.protect
+            ~finally:(fun () -> Pimsim.Parallel_sweep.shutdown_pool pool)
+            (fun () ->
+              Pimcomp.Synth.run ~params ~options ~axes ~networks
+                ~eval:(Pimsim.Synth_eval.evaluator ~pool ?cache ~networks ())
+                ())
+        in
+        let s = result.Pimcomp.Synth.stats in
+        Fmt.pr "Pareto frontier (%d points over %d candidates, %s mode):@."
+          (List.length result.Pimcomp.Synth.frontier)
+          s.Pimcomp.Synth.considered
+          (Pimcomp.Mode.to_string mode);
+        Fmt.pr "%-22s | %12s %12s %10s@." "point" "time us" "energy uJ"
+          "area mm2";
+        List.iter
+          (fun (fp : Pimcomp.Synth.frontier_point) ->
+            Fmt.pr "%-22s | %12.2f %12.2f %10.2f@."
+              (Pimhw.Design_space.point_name fp.Pimcomp.Synth.point)
+              (fp.Pimcomp.Synth.objectives.Pimcomp.Synth.time_ns /. 1e3)
+              (fp.Pimcomp.Synth.objectives.Pimcomp.Synth.energy_pj /. 1e6)
+              fp.Pimcomp.Synth.objectives.Pimcomp.Synth.area_mm2)
+          result.Pimcomp.Synth.frontier;
+        Fmt.pr
+          "@.%d considered: %d evaluated (%d jobs), %d memo hits, %d pruned \
+           (capacity), %d pruned (area), %d infeasible@."
+          s.Pimcomp.Synth.considered s.Pimcomp.Synth.evaluated
+          s.Pimcomp.Synth.eval_jobs s.Pimcomp.Synth.memo_hits
+          s.Pimcomp.Synth.pruned_capacity s.Pimcomp.Synth.pruned_area
+          s.Pimcomp.Synth.infeasible;
+        Fmt.pr "%.2f s wall (%.2f s evaluating) on %d domains: %.1f \
+                candidates/s@."
+          s.Pimcomp.Synth.wall_seconds s.Pimcomp.Synth.eval_seconds
+          pool_domains
+          (float_of_int s.Pimcomp.Synth.considered
+          /. s.Pimcomp.Synth.wall_seconds);
+        List.iter
+          (fun (p, reason) ->
+            Fmt.pr "infeasible %s: %s@."
+              (Pimhw.Design_space.point_name p)
+              reason)
+          result.Pimcomp.Synth.infeasible_points;
+        match json_path with
+        | None -> ()
+        | Some path ->
+            let json = synth_result_json ~mode ~seed result in
+            Pimutil.Atomic_io.write_text path
+              (Pimutil.Json.to_string json ^ "\n");
+            Fmt.pr "@.wrote %s@." path)
+  in
+  Cmd.v
+    (Cmd.info "synth"
+       ~doc:
+         "Search the hardware design space (crossbar size x crossbars per \
+          core x cores x local memory x VFUs) for Pareto-optimal \
+          configurations over time, energy and chip area for a set of \
+          networks.  Candidates are pre-filtered by analytic bounds, \
+          evaluated (compile + simulate) on warm worker domains, and \
+          memoised by content digest; the frontier is deterministic in \
+          the seed whatever the domain count.")
+    Term.(
+      term_result
+        (const run $ networks_arg $ input_size_arg $ mode_arg
+       $ parallelism_arg $ allocator_arg $ synth_strategy_arg $ seed_arg
+       $ generations_arg $ fast_arg $ objective_arg $ domains_arg
+       $ xbar_sizes_arg $ xbars_per_core_arg $ core_counts_arg $ local_kb_arg
+       $ vfus_arg $ search_generations_arg $ children_arg $ area_budget_arg
+       $ no_grid_seed_arg $ no_prune_arg $ no_memo_arg $ json_arg
+       $ cache_dir_arg $ cache_max_mb_arg))
+
 let main_cmd =
   let doc = "PIMCOMP: compilation framework for crossbar-based PIM DNN accelerators" in
   Cmd.group
     (Cmd.info "pimcomp" ~version:"1.0.0" ~doc)
     [
       networks_cmd; table1_cmd; compile_cmd; simulate_cmd; sweep_cmd;
-      verify_cmd; export_cmd; serve_cmd; cache_cmd;
+      verify_cmd; export_cmd; serve_cmd; cache_cmd; synth_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

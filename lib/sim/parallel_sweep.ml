@@ -20,3 +20,23 @@ let simulate ?domains hw points =
   map ?domains
     (fun (program, parallelism) -> Engine.run ~parallelism hw program)
     points
+
+(* Persistent pool path: repeated sweeps (the synth inner loop, the
+   bench sweep sections) reuse one set of warm worker domains instead
+   of spawning and joining a fresh pool per [map] call.  Workers run
+   [Sched_common.ensure_bulk_nursery] once at spawn, as the serve
+   daemon does, so every batch starts with the bulk-allocation minor
+   heap already grown. *)
+type pool = Pimutil.Domain_pool.Persistent.t
+
+let create_pool ?domains () =
+  Pimutil.Domain_pool.Persistent.create ?domains
+    ~init:Pimcomp.Sched_common.ensure_bulk_nursery ()
+
+let pool_domains = Pimutil.Domain_pool.Persistent.domain_count
+let pool_map pool f items = Pimutil.Domain_pool.Persistent.run pool f items
+
+let pool_map_list pool f items =
+  Array.to_list (pool_map pool f (Array.of_list items))
+
+let shutdown_pool = Pimutil.Domain_pool.Persistent.shutdown

@@ -32,3 +32,27 @@ val simulate :
   Metrics.t array
 (** Simulate many [(program, parallelism)] points in parallel, one
     {!Engine} arena per point. *)
+
+(** {2 Persistent pool}
+
+    [map] spawns and joins a fresh set of domains per call; callers
+    that sweep repeatedly (the synth inner loop, the bench sweep
+    sections) should create one [pool] and route every batch through
+    it.  Workers are warm {!Pimutil.Domain_pool.Persistent} domains
+    initialised with {!Pimcomp.Sched_common.ensure_bulk_nursery}, as
+    in the serve daemon.  [pool_map] keeps [map]'s contract: results
+    are slot-ordered and worker exceptions re-raise in the caller
+    after the batch drains. *)
+
+type pool
+
+val create_pool : ?domains:int -> unit -> pool
+(** [domains] defaults to {!default_domains}. *)
+
+val pool_domains : pool -> int
+val pool_map : pool -> ('a -> 'b) -> 'a array -> 'b array
+val pool_map_list : pool -> ('a -> 'b) -> 'a list -> 'b list
+
+val shutdown_pool : pool -> unit
+(** Joins the workers; subsequent [pool_map] calls raise
+    [Invalid_argument].  Idempotent. *)

@@ -1,0 +1,38 @@
+(** Compile-and-simulate evaluator for {!Pimcomp.Synth}.
+
+    Bridges the synthesiser (which lives below the simulator in the
+    library stack and therefore takes its evaluator as a callback) to
+    {!Pimcomp.Compile.compile_program} + {!Engine.run}.  Jobs fan out
+    over a {!Parallel_sweep.pool} of warm worker domains when one is
+    given; results are slot-ordered either way, so the synthesiser's
+    frontier is bit-identical for any domain count. *)
+
+val eval_jobs :
+  ?pool:Parallel_sweep.pool ->
+  ?cache:Pimcomp.Cache.t ->
+  networks:(string * Nnir.Graph.t) array ->
+  Pimcomp.Synth.job array ->
+  Pimcomp.Synth.evaluation array
+(** Evaluate one batch.  Each job compiles its network for the
+    candidate hardware (through the artifact [cache] when given, so
+    identical candidates across generations — or across searches — hit
+    stored programs) and simulates the program; the time objective is
+    end-to-end latency in LL mode and the inverse throughput period in
+    HT mode, the energy objective is {!Metrics.total_pj}.
+
+    A compile rejected as infeasible ({!Pimcomp.Chromosome.Infeasible}
+    or a constraint [Invalid_argument]) and a simulation that deadlocks
+    yield [Eval_infeasible] — the search records the point and moves
+    on.  Any other exception is re-raised as
+    {!Pimcomp.Compile.Job_error} naming the job's slot and network, as
+    in [Compile.batch]. *)
+
+val evaluator :
+  ?pool:Parallel_sweep.pool ->
+  ?cache:Pimcomp.Cache.t ->
+  networks:(string * Nnir.Graph.t) array ->
+  unit ->
+  Pimcomp.Synth.job array ->
+  Pimcomp.Synth.evaluation array
+(** [evaluator ?pool ?cache ~networks ()] is [eval_jobs] partially
+    applied — the shape {!Pimcomp.Synth.run} expects for [eval]. *)

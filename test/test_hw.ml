@@ -91,6 +91,99 @@ let test_orion_scaling () =
     >= wide.Pimhw.Orion_model.energy_per_flit_pj
   then Alcotest.fail "wider flits should cost more energy"
 
+(* qcheck monotonicity: every Cacti output is non-decreasing in
+   capacity — the synthesiser's pre-filters and config scaling lean on
+   this (a bigger scratchpad can never get cheaper). *)
+let cacti_monotone =
+  QCheck.Test.make ~name:"cacti monotone in capacity" ~count:300
+    QCheck.(pair (int_range 1 (1 lsl 22)) (int_range 1 (1 lsl 22)))
+    (fun (a, b) ->
+      let lo = min a b and hi = max a b in
+      let r_lo = Pimhw.Cacti_model.evaluate ~capacity_bytes:lo in
+      let r_hi = Pimhw.Cacti_model.evaluate ~capacity_bytes:hi in
+      r_lo.Pimhw.Cacti_model.read_energy_pj_per_byte
+      <= r_hi.Pimhw.Cacti_model.read_energy_pj_per_byte
+      && r_lo.Pimhw.Cacti_model.write_energy_pj_per_byte
+         <= r_hi.Pimhw.Cacti_model.write_energy_pj_per_byte
+      && r_lo.Pimhw.Cacti_model.leakage_power_mw
+         <= r_hi.Pimhw.Cacti_model.leakage_power_mw
+      && r_lo.Pimhw.Cacti_model.area_mm2 <= r_hi.Pimhw.Cacti_model.area_mm2
+      && r_lo.Pimhw.Cacti_model.access_latency_ns
+         <= r_hi.Pimhw.Cacti_model.access_latency_ns)
+
+(* Orion: energy, leakage and area are non-decreasing in port count and
+   flit width (and leakage/area in buffer depth). *)
+let orion_params =
+  QCheck.make
+    ~print:(fun (p : Pimhw.Orion_model.params) ->
+      Printf.sprintf "ports=%d vc=%d buf=%d flit=%d" p.Pimhw.Orion_model.ports
+        p.Pimhw.Orion_model.virtual_channels p.Pimhw.Orion_model.buffer_depth_flits
+        p.Pimhw.Orion_model.flit_bits)
+    QCheck.Gen.(
+      map
+        (fun (ports, vc, buf, flit) ->
+          {
+            Pimhw.Orion_model.ports;
+            virtual_channels = vc;
+            buffer_depth_flits = buf;
+            flit_bits = flit;
+          })
+        (quad (int_range 2 16) (int_range 1 8) (int_range 1 16)
+           (int_range 8 512)))
+
+let orion_monotone =
+  QCheck.Test.make ~name:"orion monotone in ports/flit/buffers" ~count:300
+    QCheck.(pair orion_params (triple (int_range 0 8) (int_range 0 256) (int_range 0 8)))
+    (fun (p, (dports, dflit, dbuf)) ->
+      let bigger =
+        {
+          p with
+          Pimhw.Orion_model.ports = p.Pimhw.Orion_model.ports + dports;
+          flit_bits = p.Pimhw.Orion_model.flit_bits + dflit;
+          buffer_depth_flits = p.Pimhw.Orion_model.buffer_depth_flits + dbuf;
+        }
+      in
+      let r = Pimhw.Orion_model.evaluate ~params:p () in
+      let r' = Pimhw.Orion_model.evaluate ~params:bigger () in
+      r.Pimhw.Orion_model.energy_per_flit_pj
+      <= r'.Pimhw.Orion_model.energy_per_flit_pj
+      && r.Pimhw.Orion_model.leakage_power_mw
+         <= r'.Pimhw.Orion_model.leakage_power_mw
+      && r.Pimhw.Orion_model.area_mm2 <= r'.Pimhw.Orion_model.area_mm2)
+
+(* --- design space --------------------------------------------------------- *)
+
+(* Config.validate must accept every point the synth enumerator can
+   emit: axes values are arbitrary positives, not just the defaults. *)
+let axis_gen = QCheck.Gen.(list_size (int_range 1 4) (int_range 1 512))
+
+let design_axes_gen =
+  QCheck.Gen.(
+    map
+      (fun (a, b, c, d, e) ->
+        let dedup l = List.sort_uniq compare l in
+        {
+          Pimhw.Design_space.xbar_size_axis = dedup a;
+          xbars_per_core_axis = dedup b;
+          core_count_axis = dedup c;
+          local_memory_kb_axis = dedup d;
+          vfus_per_core_axis = dedup e;
+        })
+      (tup5 axis_gen axis_gen axis_gen axis_gen axis_gen))
+
+let enumerator_points_validate =
+  QCheck.Test.make ~name:"Config.validate accepts every enumerated point"
+    ~count:60
+    (QCheck.make design_axes_gen)
+    (fun axes ->
+      let points = Pimhw.Design_space.enumerate axes in
+      List.length points = Pimhw.Design_space.cardinality axes
+      && List.for_all
+           (fun p ->
+             Pimhw.Config.validate (Pimhw.Design_space.to_config p);
+             true)
+           points)
+
 (* --- noc ------------------------------------------------------------------ *)
 
 let test_mesh_geometry () =
@@ -245,12 +338,16 @@ let () =
           Alcotest.test_case "calibration" `Quick test_cacti_calibration;
           Alcotest.test_case "scaling laws" `Quick test_cacti_scaling;
           Alcotest.test_case "rejects" `Quick test_cacti_rejects;
+          QCheck_alcotest.to_alcotest cacti_monotone;
         ] );
       ( "orion",
         [
           Alcotest.test_case "calibration" `Quick test_orion_calibration;
           Alcotest.test_case "scaling" `Quick test_orion_scaling;
+          QCheck_alcotest.to_alcotest orion_monotone;
         ] );
+      ( "design_space",
+        [ QCheck_alcotest.to_alcotest enumerator_points_validate ] );
       ( "noc",
         [
           Alcotest.test_case "mesh geometry" `Quick test_mesh_geometry;

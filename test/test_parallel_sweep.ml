@@ -76,6 +76,56 @@ let test_simulate_matches_sequential () =
         (seq.(i) = m_ref))
     points
 
+(* --- persistent pool --------------------------------------------------- *)
+
+let test_pool_matches_map () =
+  let items = Array.init 50 (fun i -> i) in
+  let expected = Array.map (fun i -> (i * 7) mod 13) items in
+  let pool = Pimsim.Parallel_sweep.create_pool ~domains:3 () in
+  Fun.protect
+    ~finally:(fun () -> Pimsim.Parallel_sweep.shutdown_pool pool)
+    (fun () ->
+      (* same pool reused across batches, slot order preserved *)
+      for _ = 1 to 3 do
+        let r =
+          Pimsim.Parallel_sweep.pool_map pool (fun i -> (i * 7) mod 13) items
+        in
+        Alcotest.(check (array int)) "pool_map slot order" expected r
+      done;
+      Alcotest.(check (list string))
+        "pool_map_list"
+        [ "x!"; "y!" ]
+        (Pimsim.Parallel_sweep.pool_map_list pool (fun s -> s ^ "!")
+           [ "x"; "y" ]);
+      Alcotest.(check bool) "pool_domains positive" true
+        (Pimsim.Parallel_sweep.pool_domains pool >= 1))
+
+let test_pool_exception () =
+  let pool = Pimsim.Parallel_sweep.create_pool ~domains:2 () in
+  Fun.protect
+    ~finally:(fun () -> Pimsim.Parallel_sweep.shutdown_pool pool)
+    (fun () ->
+      (match
+         Pimsim.Parallel_sweep.pool_map pool
+           (fun i -> if i = 3 then raise (Boom i) else i)
+           (Array.init 8 (fun i -> i))
+       with
+      | _ -> Alcotest.fail "worker exception must reach the caller"
+      | exception Boom 3 -> ());
+      (* the pool must survive a failed batch *)
+      Alcotest.(check (array int))
+        "pool usable after exception" [| 0; 1; 2 |]
+        (Pimsim.Parallel_sweep.pool_map pool Fun.id [| 0; 1; 2 |]))
+
+let test_pool_shutdown () =
+  let pool = Pimsim.Parallel_sweep.create_pool ~domains:2 () in
+  Pimsim.Parallel_sweep.shutdown_pool pool;
+  Pimsim.Parallel_sweep.shutdown_pool pool;
+  (* idempotent *)
+  match Pimsim.Parallel_sweep.pool_map pool Fun.id [| 1 |] with
+  | _ -> Alcotest.fail "pool_map after shutdown must raise"
+  | exception Invalid_argument _ -> ()
+
 let () =
   Alcotest.run "parallel_sweep"
     [
@@ -94,5 +144,13 @@ let () =
         [
           Alcotest.test_case "matches sequential and Engine_ref" `Quick
             test_simulate_matches_sequential;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "matches map, reusable" `Quick
+            test_pool_matches_map;
+          Alcotest.test_case "exception propagation" `Quick
+            test_pool_exception;
+          Alcotest.test_case "shutdown" `Quick test_pool_shutdown;
         ] );
     ]
