@@ -1673,6 +1673,203 @@ let synth_bench () =
          "synth: pruning+memoisation speedup %.2fx below the 2x gate"
          speedup)
 
+(* --- lifetime allocator ------------------------------------------------------
+   The lifetime buffer-placement optimiser (DESIGN.md §lifetime) against
+   the paper's AG-reuse discipline: per-network resident footprints in
+   both dataflow modes, bit-identical simulation when no spills are
+   planned, and a deliberately undersized scratchpad that the legacy
+   disciplines reject outright but lifetime compiles to a valid spilling
+   program.  Results land in BENCH_ALLOC.json; PIMCOMP_SIM_TINY=1
+   shrinks the run. *)
+let alloc_bench () =
+  let tiny = Sys.getenv_opt "PIMCOMP_SIM_TINY" <> None in
+  let nets =
+    if tiny then
+      [ ("tiny", 16); ("lenet", Nnir.Zoo.min_input_size "lenet") ]
+    else networks
+  in
+  warm_graphs nets;
+  let parallelism = Pimsim.Engine.default_parallelism in
+  let compile_with allocator mode net =
+    let options =
+      {
+        Pimcomp.Compile.default_options with
+        mode;
+        parallelism;
+        allocator;
+        strategy = puma;
+      }
+    in
+    (Pimcomp.Compile.compile ~options hw (graph_of net)).Pimcomp.Compile
+      .program
+  in
+  let resident (p : Pimcomp.Isa.t) =
+    let peaks = p.Pimcomp.Isa.memory.Pimcomp.Isa.local_resident_peak_bytes in
+    (Array.fold_left max 0 peaks, Array.fold_left ( + ) 0 peaks)
+  in
+  let rows =
+    List.concat_map
+      (fun net ->
+        List.map
+          (fun mode ->
+            let ag = compile_with Pimcomp.Memalloc.Ag_reuse mode net in
+            let lt = compile_with Pimcomp.Memalloc.Lifetime mode net in
+            let ag_max, ag_sum = resident ag in
+            let lt_max, lt_sum = resident lt in
+            let ag_spill = ag.Pimcomp.Isa.memory.Pimcomp.Isa.spill_bytes in
+            let lt_spill = lt.Pimcomp.Isa.memory.Pimcomp.Isa.spill_bytes in
+            if lt_max > ag_max || lt_sum > ag_sum then
+              failwith
+                (Fmt.str
+                   "alloc: lifetime footprint above AG-reuse on %s %s \
+                    (max %d vs %d, sum %d vs %d)"
+                   (fst net)
+                   (Pimcomp.Mode.to_string mode)
+                   lt_max ag_max lt_sum ag_sum);
+            (* with no planned spills the lifetime emission is the same
+               instruction stream, so the simulated timing and energy
+               must be bit-identical *)
+            let sim_identical =
+              if ag_spill = 0 && lt_spill = 0 then begin
+                let run p = Pimsim.Engine.run ~parallelism hw p in
+                let ma = run ag and ml = run lt in
+                let same =
+                  ma.Pimsim.Metrics.makespan_ns
+                  = ml.Pimsim.Metrics.makespan_ns
+                  && Pimsim.Metrics.total_pj ma.Pimsim.Metrics.energy
+                     = Pimsim.Metrics.total_pj ml.Pimsim.Metrics.energy
+                in
+                if not same then
+                  failwith
+                    (Fmt.str
+                       "alloc: spill-free lifetime program simulates \
+                        differently on %s %s"
+                       (fst net)
+                       (Pimcomp.Mode.to_string mode));
+                Some true
+              end
+              else None
+            in
+            Fmt.pr
+              "%-14s %s  ag(max %6d  sum %8d  spill %8d)  lt(max %6d  sum \
+               %8d  spill %8d)%s@."
+              (fst net)
+              (Pimcomp.Mode.to_string mode)
+              ag_max ag_sum ag_spill lt_max lt_sum lt_spill
+              (match sim_identical with
+              | Some true -> "  sim-identical"
+              | _ -> "");
+            ( fst net,
+              Pimcomp.Mode.to_string mode,
+              (ag_max, ag_sum, ag_spill),
+              (lt_max, lt_sum, lt_spill),
+              sim_identical ))
+          [ Pimcomp.Mode.High_throughput; Pimcomp.Mode.Low_latency ])
+      nets
+  in
+  let reduced =
+    List.filter
+      (fun (_, _, (ag_max, ag_sum, _), (lt_max, lt_sum, _), _) ->
+        lt_max < ag_max || lt_sum < ag_sum)
+      rows
+  in
+  if 2 * List.length reduced < List.length rows then
+    failwith
+      (Fmt.str "alloc: lifetime reduced the footprint on only %d/%d rows"
+         (List.length reduced) (List.length rows));
+  (* An HT scratchpad smaller than the largest single request: the
+     legacy disciplines raise Doesnt_fit, the lifetime planner streams
+     the oversized buffers through global memory instead. *)
+  let tight_bytes = 4096 in
+  let tight_hw = { hw with Pimhw.Config.local_memory_bytes = tight_bytes } in
+  let tight_name = "squeezenet" in
+  let tight_graph =
+    Nnir.Zoo.build tight_name
+      ~input_size:(Nnir.Zoo.min_input_size tight_name)
+  in
+  let tight_options allocator =
+    {
+      Pimcomp.Compile.default_options with
+      mode = Pimcomp.Mode.High_throughput;
+      parallelism;
+      allocator;
+      strategy = puma;
+    }
+  in
+  let legacy_rejected =
+    match
+      Pimcomp.Compile.compile
+        ~options:(tight_options Pimcomp.Memalloc.Ag_reuse)
+        tight_hw tight_graph
+    with
+    | _ -> false
+    | exception Pimcomp.Memalloc.Doesnt_fit _ -> true
+  in
+  if not legacy_rejected then
+    failwith "alloc: expected the tight scratchpad to reject AG-reuse";
+  let tight =
+    Pimcomp.Compile.compile
+      ~options:(tight_options Pimcomp.Memalloc.Lifetime)
+      tight_hw tight_graph
+  in
+  let tp = tight.Pimcomp.Compile.program in
+  let tight_verified =
+    Pimcomp.Verify.run ~graph:tight_graph ~config:tight_hw tp = []
+  in
+  let tight_max, _ = resident tp in
+  let tight_spill = tp.Pimcomp.Isa.memory.Pimcomp.Isa.spill_bytes in
+  let tight_metrics = Pimsim.Engine.run ~parallelism tight_hw tp in
+  if not tight_verified then
+    failwith "alloc: tight-memory lifetime program failed verification";
+  if tight_max > tight_bytes then
+    failwith
+      (Fmt.str "alloc: tight resident peak %d exceeds the %dB scratchpad"
+         tight_max tight_bytes);
+  if tight_spill = 0 then
+    failwith "alloc: tight-memory program planned no spills";
+  if tight_metrics.Pimsim.Metrics.deadlocked then
+    failwith "alloc: tight-memory program deadlocked in simulation";
+  Fmt.pr
+    "tight %s @@ %dB: spill %d B, resident max %d B, makespan %.2f us, \
+     verified %b@."
+    tight_name tight_bytes tight_spill tight_max
+    (tight_metrics.Pimsim.Metrics.makespan_ns /. 1e3)
+    tight_verified;
+  write_json "BENCH_ALLOC.json" (fun json ->
+      Format.fprintf json "{@.  \"tiny\": %b,@.  \"rows\": [@." tiny;
+      List.iteri
+        (fun i
+             ( name,
+               mode,
+               (ag_max, ag_sum, ag_spill),
+               (lt_max, lt_sum, lt_spill),
+               sim_identical ) ->
+          Format.fprintf json
+            "    { \"network\": %S, \"mode\": %S, \"ag_resident_max\": %d, \
+             \"ag_resident_sum\": %d, \"ag_spill\": %d, \
+             \"lifetime_resident_max\": %d, \"lifetime_resident_sum\": %d, \
+             \"lifetime_spill\": %d, \"reduced\": %b, \"sim_identical\": \
+             %s }%s@."
+            name mode ag_max ag_sum ag_spill lt_max lt_sum lt_spill
+            (lt_max < ag_max || lt_sum < ag_sum)
+            (match sim_identical with
+            | Some b -> string_of_bool b
+            | None -> "null")
+            (if i = List.length rows - 1 then "" else ","))
+        rows;
+      Format.fprintf json
+        "  ],@.  \"rows_reduced\": %d,@.  \"rows_total\": %d,@.  \
+         \"reduced_at_least_half\": %b,@."
+        (List.length reduced) (List.length rows)
+        (2 * List.length reduced >= List.length rows);
+      Format.fprintf json
+        "  \"tight\": { \"network\": %S, \"local_memory_bytes\": %d, \
+         \"legacy\": \"doesnt-fit\", \"lifetime_spill\": %d, \
+         \"resident_max\": %d, \"verified\": %b, \"makespan_us\": %.3f \
+         }@.}@."
+        tight_name tight_bytes tight_spill tight_max tight_verified
+        (tight_metrics.Pimsim.Metrics.makespan_ns /. 1e3))
+
 (* --- driver ------------------------------------------------------------------- *)
 
 let sections : (string * (unit -> unit)) list =
@@ -1691,6 +1888,7 @@ let sections : (string * (unit -> unit)) list =
     ("batch", batch);
     ("micro", micro);
     ("synth", synth_bench);
+    ("alloc", alloc_bench);
   ]
 
 let () =

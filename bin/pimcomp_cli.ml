@@ -55,7 +55,7 @@ let cores_arg =
   Arg.(value & opt (some int) None & info [ "cores" ] ~doc)
 
 let allocator_arg =
-  let doc = "Local-memory allocator: naive, add-reuse or ag-reuse." in
+  let doc = "Local-memory allocator: naive, add-reuse, ag-reuse or lifetime." in
   let alloc_conv =
     Arg.conv
       ( (fun s ->
@@ -65,6 +65,14 @@ let allocator_arg =
         fun ppf a -> Fmt.string ppf (Pimcomp.Memalloc.strategy_name a) )
   in
   Arg.(value & opt alloc_conv Pimcomp.Memalloc.Ag_reuse & info [ "allocator" ] ~doc)
+
+let spill_budget_arg =
+  let doc =
+    "Cap (bytes) on the spill traffic the lifetime allocator may plan; \
+     compilation fails if the program cannot fit the scratchpad within the \
+     budget.  Unlimited by default; ignored by the legacy allocators."
+  in
+  Arg.(value & opt (some int) None & info [ "spill-budget" ] ~doc)
 
 let strategy_arg =
   let doc = "Mapping strategy: ga, puma or random." in
@@ -201,14 +209,15 @@ let objective_of_string = function
   | "edp" | "energy-delay" -> Pimcomp.Fitness.Minimize_energy_delay
   | s -> raise (Invalid_argument (Fmt.str "unknown objective %S" s))
 
-let build_options ?ga_islands ?(verify = true) ~mode ~parallelism ~cores
-    ~allocator ~strategy ~seed ~objective () =
+let build_options ?ga_islands ?(verify = true) ?(spill_budget = None) ~mode
+    ~parallelism ~cores ~allocator ~strategy ~seed ~objective () =
   {
     Pimcomp.Compile.default_options with
     mode;
     parallelism;
     core_count = cores;
     allocator;
+    spill_budget;
     seed;
     strategy;
     objective;
@@ -218,6 +227,7 @@ let build_options ?ga_islands ?(verify = true) ~mode ~parallelism ~cores
 
 let wrap f = try Ok (f ()) with
   | Invalid_argument msg | Failure msg -> Error (`Msg msg)
+  | Pimcomp.Memalloc.Doesnt_fit msg -> Error (`Msg ("doesn't fit: " ^ msg))
   | Pimcomp.Chromosome.Infeasible msg -> Error (`Msg ("infeasible: " ^ msg))
   | Nnir.Graph.Invalid_graph msg -> Error (`Msg ("invalid graph: " ^ msg))
   | Pimcomp.Artifact.Corrupt msg -> Error (`Msg ("corrupt artifact: " ^ msg))
@@ -291,9 +301,9 @@ let table1_cmd =
     Term.(term_result (const run $ const ()))
 
 let compile_term simulate =
-  let run network input_size mode parallelism cores allocator strategy seed
-      generations fast ga_islands ga_migration verbose simplify objective
-      verify emit_isa emit_trace cache_dir cache_max_mb =
+  let run network input_size mode parallelism cores allocator spill_budget
+      strategy seed generations fast ga_islands ga_migration verbose simplify
+      objective verify emit_isa emit_trace cache_dir cache_max_mb =
     wrap (fun () ->
         let graph = load_network network input_size in
         let graph =
@@ -309,7 +319,7 @@ let compile_term simulate =
         let options =
           build_options
             ?ga_islands:(islands_of_flags ga_islands ga_migration)
-            ~verify ~mode ~parallelism ~cores ~allocator
+            ~verify ~spill_budget ~mode ~parallelism ~cores ~allocator
             ~strategy:(strategy_of_flags strategy fast generations seed)
             ~seed
             ~objective:(objective_of_string objective)
@@ -367,7 +377,8 @@ let compile_term simulate =
   Term.(
     term_result
       (const run $ network_arg $ input_size_arg $ mode_arg $ parallelism_arg
-     $ cores_arg $ allocator_arg $ strategy_arg $ seed_arg $ generations_arg
+     $ cores_arg $ allocator_arg $ spill_budget_arg $ strategy_arg $ seed_arg
+     $ generations_arg
      $ fast_arg $ ga_islands_arg $ ga_migration_arg $ verbose_arg
      $ simplify_arg $ objective_arg $ verify_flag_arg $ emit_isa_arg
      $ emit_trace_arg $ cache_dir_arg $ cache_max_mb_arg))
@@ -602,6 +613,7 @@ module Serve = struct
     in
     build_options
       ~verify:(J.bool_field ~default:true "verify" req)
+      ~spill_budget:(J.opt_int_field "spill_budget" req)
       ~mode ~parallelism
       ~cores:(J.opt_int_field "cores" req)
       ~allocator ~strategy ~seed

@@ -31,7 +31,7 @@ let corrupt fmt = Fmt.kstr (fun m -> raise (Corrupt m)) fmt
 type t = { key : string; program : Isa.t }
 
 let magic = "pimart"
-let version = 1
+let version = 2 (* v2: Isa.t memory report gained local_resident_peak_bytes *)
 
 let is_hex s =
   String.length s = 32

@@ -18,6 +18,10 @@ type options = {
   core_count : int option;       (* None: fit the network (see Partition) *)
   max_node_num_in_core : int;
   allocator : Memalloc.strategy;
+  spill_budget : int option;
+      (* cap, in bytes, on deliberate spill traffic the lifetime
+         allocator may plan per program; None = unlimited.  Ignored by
+         the legacy disciplines, which never plan spills *)
   mvms_per_transfer : int;
   seed : int;
   strategy : mapping_strategy;
@@ -45,6 +49,7 @@ let default_options =
     core_count = None;
     max_node_num_in_core = 16;
     allocator = Memalloc.Ag_reuse;
+    spill_budget = None;
     mvms_per_transfer = 2;
     seed = 42;
     strategy = Genetic_algorithm Genetic.default_params;
@@ -156,6 +161,7 @@ let compile ?(options = default_options) (config : Pimhw.Config.t)
                   {
                     Schedule_ht.mvms_per_transfer = options.mvms_per_transfer;
                     strategy = options.allocator;
+                    spill_budget = options.spill_budget;
                   }
                 layout
           | Mode.Low_latency ->
@@ -164,6 +170,7 @@ let compile ?(options = default_options) (config : Pimhw.Config.t)
                   {
                     Schedule_ll.default_options with
                     strategy = options.allocator;
+                    spill_budget = options.spill_budget;
                   }
                 layout
         in
@@ -301,7 +308,7 @@ let cache_key ?(options = default_options) ?graph_digest:precomputed
   in
   Cache.digest_fields
     ([
-       ("format", "pimcomp-cache-key-v2");
+       ("format", "pimcomp-cache-key-v3");
        ( "graph.md5",
          match precomputed with Some d -> d | None -> graph_digest graph );
        ("mode", Mode.to_string options.mode);
@@ -313,6 +320,10 @@ let cache_key ?(options = default_options) ?graph_digest:precomputed
        ( "max_node_num_in_core",
          string_of_int options.max_node_num_in_core );
        ("allocator", Memalloc.strategy_name options.allocator);
+       ( "spill_budget",
+         match options.spill_budget with
+         | None -> "unlimited"
+         | Some n -> string_of_int n );
        ("mvms_per_transfer", string_of_int options.mvms_per_transfer);
        ("seed", string_of_int options.seed);
        ("objective", Fitness.objective_name options.objective);

@@ -15,6 +15,10 @@ type options = {
   core_count : int option;
   max_node_num_in_core : int;
   allocator : Memalloc.strategy;
+  spill_budget : int option;
+      (** Cap, in bytes, on deliberate spill traffic the lifetime
+          allocator may plan per program; [None] = unlimited.  Ignored
+          by the legacy disciplines, which never plan spills. *)
   mvms_per_transfer : int;
   seed : int;
   strategy : mapping_strategy;

@@ -51,8 +51,15 @@ type instr = {
 }
 
 type memory_report = {
-  local_peak_bytes : int array;     (* per core, allocator demand *)
-  spill_bytes : int;                (* HT overflow traffic, both ways *)
+  local_peak_bytes : int array;     (* per core, allocator *demand*:
+                                       what the schedule asked of the
+                                       scratchpad, before any capacity
+                                       clamp — can exceed the capacity *)
+  local_resident_peak_bytes : int array;
+                                    (* per core, bytes actually resident
+                                       after the clamp / placement;
+                                       never exceeds the capacity *)
+  spill_bytes : int;                (* overflow traffic, both ways *)
   global_load_bytes : int;
   global_store_bytes : int;
 }
@@ -66,6 +73,11 @@ type mem_event =
   | Alloc of { core : int; bytes : int; request : Memalloc.request }
   | Free of { core : int; bytes : int }
   | Free_accumulator of { core : int; key : int }
+  | Free_ag_slot of { core : int; key : int }
+    (* Emitted only by lifetime-strategy schedules, which track staging
+       slot deaths precisely; the Fig. 7 disciplines never release
+       slots, and adding the events under them would break bit-identity
+       with the retained reference pipelines. *)
 
 type t = {
   graph_name : string;
@@ -127,3 +139,5 @@ let pp_mem_event ppf = function
   | Free { core; bytes } -> Fmt.pf ppf "FREE core=%d %dB" core bytes
   | Free_accumulator { core; key } ->
       Fmt.pf ppf "FREEACC core=%d key=%d" core key
+  | Free_ag_slot { core; key } ->
+      Fmt.pf ppf "FREEAG core=%d key=%d" core key

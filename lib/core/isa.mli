@@ -37,6 +37,12 @@ type instr = { op : op; deps : int list; node_id : Nnir.Node.id }
 
 type memory_report = {
   local_peak_bytes : int array;
+      (** Per-core allocator *demand* peak: what the schedule asked of
+          the scratchpad before any capacity clamp; can exceed the
+          capacity when requests spilled. *)
+  local_resident_peak_bytes : int array;
+      (** Per-core peak of bytes actually resident after the clamp (or
+          after lifetime placement); never exceeds the capacity. *)
   spill_bytes : int;
   global_load_bytes : int;
   global_store_bytes : int;
@@ -50,6 +56,9 @@ type mem_event =
   | Alloc of { core : int; bytes : int; request : Memalloc.request }
   | Free of { core : int; bytes : int }
   | Free_accumulator of { core : int; key : int }
+  | Free_ag_slot of { core : int; key : int }
+      (** Staging-slot death; emitted only by lifetime-strategy
+          schedules. *)
 
 type t = {
   graph_name : string;

@@ -5,10 +5,11 @@
    Format (whitespace-separated, one instruction per line):
 
      program <name> mode=HT allocator=AG-reuse cores=4 tags=7 depth=3
-     memory spill=0 gload=1024 gstore=512 peaks=100,0,20,0
+     memory spill=0 gload=1024 gstore=512 peaks=100,0,20,0 rpeaks=100,0,20,0
      trace alloc core=0 bytes=128 req=fresh      (also req=acc:K, req=ag:K)
      trace free core=0 bytes=128
      trace freeacc core=0 key=3
+     trace freeag core=0 key=3
      ag <id> core=<c> xbars=<n>
      core <c>
        <idx>: MVM ag=5 w=2 xb=2 in=64 out=128 deps=1,2 node=7
@@ -16,7 +17,10 @@
        <idx>: LOAD 1024 deps= node=3
        <idx>: STORE 64 deps=4 node=3
        <idx>: SEND dst=4 bytes=128 tag=9 deps=2 node=3
-       <idx>: RECV src=2 bytes=64 tag=11 deps= node=3 *)
+       <idx>: RECV src=2 bytes=64 tag=11 deps= node=3
+
+   [rpeaks] (per-core resident peaks) is optional on input and defaults
+   to [peaks] — pre-lifetime dumps carried a single peak array. *)
 
 exception Parse_error of { line : int; message : string }
 
@@ -51,12 +55,14 @@ let to_string (t : Isa.t) =
     (Mode.to_string t.Isa.mode)
     (Memalloc.strategy_name t.Isa.allocator)
     t.Isa.core_count t.Isa.num_tags t.Isa.pipeline_depth;
-  add "memory spill=%d gload=%d gstore=%d peaks=%s"
+  let peaks_csv a =
+    String.concat "," (Array.to_list (Array.map string_of_int a))
+  in
+  add "memory spill=%d gload=%d gstore=%d peaks=%s rpeaks=%s"
     t.Isa.memory.Isa.spill_bytes t.Isa.memory.Isa.global_load_bytes
     t.Isa.memory.Isa.global_store_bytes
-    (String.concat ","
-       (Array.to_list
-          (Array.map string_of_int t.Isa.memory.Isa.local_peak_bytes)));
+    (peaks_csv t.Isa.memory.Isa.local_peak_bytes)
+    (peaks_csv t.Isa.memory.Isa.local_resident_peak_bytes);
   Array.iter
     (fun (ev : Isa.mem_event) ->
       match ev with
@@ -70,7 +76,9 @@ let to_string (t : Isa.t) =
           add "trace alloc core=%d bytes=%d req=%s" core bytes req
       | Isa.Free { core; bytes } -> add "trace free core=%d bytes=%d" core bytes
       | Isa.Free_accumulator { core; key } ->
-          add "trace freeacc core=%d key=%d" core key)
+          add "trace freeacc core=%d key=%d" core key
+      | Isa.Free_ag_slot { core; key } ->
+          add "trace freeag core=%d key=%d" core key)
     t.Isa.mem_trace;
   Array.iteri
     (fun ag core -> add "ag %d core=%d xbars=%d" ag core t.Isa.ag_xbars.(ag))
@@ -156,13 +164,22 @@ let of_string text =
                   parse_int line "depth" (field line f "depth") )
         | "memory" :: rest ->
             let f = fields_of rest in
-            let peaks =
-              match field line f "peaks" with
+            let parse_peaks = function
               | "" -> [||]
               | s ->
                   String.split_on_char ',' s
                   |> List.map (parse_int line "peak")
                   |> Array.of_list
+            in
+            let peaks = parse_peaks (field line f "peaks") in
+            (* pre-lifetime dumps carry no rpeaks; their disciplines
+               resided exactly what they demanded up to the clamp, and
+               without the capacity here the demand array is the best
+               reconstruction *)
+            let rpeaks =
+              match List.assoc_opt "rpeaks" f with
+              | Some s -> parse_peaks s
+              | None -> Array.copy peaks
             in
             memory :=
               Some
@@ -173,6 +190,7 @@ let of_string text =
                   global_store_bytes =
                     parse_int line "gstore" (field line f "gstore");
                   local_peak_bytes = peaks;
+                  local_resident_peak_bytes = rpeaks;
                 }
         | "trace" :: what :: rest ->
             let f = fields_of rest in
@@ -210,6 +228,9 @@ let of_string text =
                     }
               | "freeacc" ->
                   Isa.Free_accumulator
+                    { core; key = parse_int line "key" (field line f "key") }
+              | "freeag" ->
+                  Isa.Free_ag_slot
                     { core; key = parse_int line "key" (field line f "key") }
               | s -> errf line "unknown trace event %S" s
             in
@@ -322,6 +343,7 @@ let of_string text =
           global_load_bytes = 0;
           global_store_bytes = 0;
           local_peak_bytes = Array.make core_count 0;
+          local_resident_peak_bytes = Array.make core_count 0;
         }
   in
   let ags = List.sort compare !ags in

@@ -32,6 +32,10 @@ type t = {
   core_count : int;
   bufs : core_buf array;
   alloc : Memalloc.t;
+  (* When a lifetime placement plan is installed, allocation events are
+     matched to it by ordinal: spilled buffers bypass the allocator and
+     materialise as the planned STORE/LOAD round trips instead. *)
+  plan : Lifetime.plan option;
   mutable next_tag : int;
   mutable global_load_bytes : int;
   mutable global_store_bytes : int;
@@ -44,13 +48,14 @@ type t = {
 
 let dummy_event = Isa.Free { core = -1; bytes = 0 }
 
-let create ~core_count ~strategy ~capacity =
+let create ~core_count ~strategy ~capacity ?plan () =
   {
     core_count;
     bufs =
       Array.init core_count (fun _ ->
           { instrs = Array.make 64 dummy_instr; count = 0 });
     alloc = Memalloc.create strategy ~core_count ~capacity;
+    plan;
     next_tag = 0;
     global_load_bytes = 0;
     global_store_bytes = 0;
@@ -135,19 +140,50 @@ let spill_instrs t ~core ~node spilled =
   end
   else []
 
+(* With a lifetime plan installed, the plan — not the allocator —
+   decides what spills: a planned allocation ordinal either belongs to a
+   resident buffer (allocator runs, never overflows: lifetime builders
+   carry no capacity) or to a spilled one (allocator skipped, the
+   planned round trip emitted).  The second emission pass must replay
+   the profiled event stream exactly; an ordinal past the plan means the
+   scheduler diverged between passes. *)
+let planned_alloc t ~core ~node ordinal fallback =
+  match t.plan with
+  | None -> spill_instrs t ~core ~node (fallback ())
+  | Some plan ->
+      if ordinal >= plan.Lifetime.events then
+        failwith "Prog_builder: emission diverged from the lifetime plan";
+      if plan.Lifetime.skip.(ordinal) then
+        spill_instrs t ~core ~node plan.Lifetime.pair_bytes.(ordinal)
+      else
+        spill_instrs t ~core ~node (fallback ())
+
+let plan_skips t ordinal =
+  match t.plan with
+  | None -> false
+  | Some plan ->
+      if ordinal >= plan.Lifetime.events then
+        failwith "Prog_builder: emission diverged from the lifetime plan";
+      plan.Lifetime.skip.(ordinal)
+
 (* Request a local buffer; scalar variants mirror {!Memalloc}'s. *)
 let alloc_fresh t ~core ~bytes ~node =
+  let ordinal = t.trace_len in
   push_trace t (Isa.Alloc { core; bytes; request = Memalloc.Fresh });
-  spill_instrs t ~core ~node (Memalloc.alloc_fresh t.alloc ~core ~bytes)
+  planned_alloc t ~core ~node ordinal (fun () ->
+      Memalloc.alloc_fresh t.alloc ~core ~bytes)
 
 let alloc_accumulator t ~core ~bytes ~node ~key =
+  let ordinal = t.trace_len in
   push_trace t (Isa.Alloc { core; bytes; request = Memalloc.Accumulator key });
-  spill_instrs t ~core ~node
-    (Memalloc.alloc_accumulator t.alloc ~core ~bytes ~key)
+  planned_alloc t ~core ~node ordinal (fun () ->
+      Memalloc.alloc_accumulator t.alloc ~core ~bytes ~key)
 
 let alloc_ag_slot t ~core ~bytes ~node ~key =
+  let ordinal = t.trace_len in
   push_trace t (Isa.Alloc { core; bytes; request = Memalloc.Ag_slot key });
-  spill_instrs t ~core ~node (Memalloc.alloc_ag_slot t.alloc ~core ~bytes ~key)
+  planned_alloc t ~core ~node ordinal (fun () ->
+      Memalloc.alloc_ag_slot t.alloc ~core ~bytes ~key)
 
 let alloc_buffer t ~core ~bytes ?(node = -1) request =
   match request with
@@ -156,12 +192,20 @@ let alloc_buffer t ~core ~bytes ?(node = -1) request =
   | Memalloc.Ag_slot key -> alloc_ag_slot t ~core ~bytes ~node ~key
 
 let free_buffer t ~core ~bytes =
+  let ordinal = t.trace_len in
   push_trace t (Isa.Free { core; bytes });
-  Memalloc.free t.alloc ~core ~bytes
+  if not (plan_skips t ordinal) then Memalloc.free t.alloc ~core ~bytes
 
 let free_accumulator t ~core ~key =
+  let ordinal = t.trace_len in
   push_trace t (Isa.Free_accumulator { core; key });
-  Memalloc.free_accumulator t.alloc ~core ~key
+  if not (plan_skips t ordinal) then
+    Memalloc.free_accumulator t.alloc ~core ~key
+
+let free_ag_slot t ~core ~key =
+  let ordinal = t.trace_len in
+  push_trace t (Isa.Free_ag_slot { core; key });
+  if not (plan_skips t ordinal) then Memalloc.free_ag_slot t.alloc ~core ~key
 
 (* A matched SEND/RECV pair.  Returns the receive's index on [dst].
    [src_deps]/[dst_deps] are existing instruction indices on the
@@ -196,7 +240,8 @@ let finish t ~graph_name ~mode ~strategy ~ag_core ~ag_xbars ~pipeline_depth =
     pipeline_depth;
     memory =
       {
-        Isa.local_peak_bytes = Memalloc.peaks t.alloc;
+        Isa.local_peak_bytes = Memalloc.demand_peaks t.alloc;
+        local_resident_peak_bytes = Memalloc.resident_peaks t.alloc;
         spill_bytes = Memalloc.spill_bytes t.alloc;
         global_load_bytes = t.global_load_bytes;
         global_store_bytes = t.global_store_bytes;

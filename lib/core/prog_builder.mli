@@ -6,7 +6,16 @@
 type t
 
 val create :
-  core_count:int -> strategy:Memalloc.strategy -> capacity:int option -> t
+  core_count:int ->
+  strategy:Memalloc.strategy ->
+  capacity:int option ->
+  ?plan:Lifetime.plan ->
+  unit ->
+  t
+(** With [plan] installed (a lifetime scheduler's second emission pass),
+    allocation events are matched to the plan by trace ordinal: spilled
+    buffers bypass the allocator and emit the planned STORE/LOAD round
+    trips instead. *)
 
 val num_instrs : t -> int -> int
 
@@ -65,6 +74,11 @@ val alloc_ag_slot :
 
 val free_buffer : t -> core:int -> bytes:int -> unit
 val free_accumulator : t -> core:int -> key:int -> unit
+
+val free_ag_slot : t -> core:int -> key:int -> unit
+(** Staging-slot death.  Only lifetime-strategy schedulers emit this:
+    the Fig. 7 disciplines never release slots, and the event would
+    break bit-identity with the reference pipelines. *)
 
 val send_recv :
   t ->

@@ -111,7 +111,8 @@ let finish t ~graph_name ~mode ~strategy ~ag_core ~ag_xbars ~pipeline_depth =
     pipeline_depth;
     memory =
       {
-        Isa.local_peak_bytes = Memalloc.peaks t.alloc;
+        Isa.local_peak_bytes = Memalloc.demand_peaks t.alloc;
+        local_resident_peak_bytes = Memalloc.resident_peaks t.alloc;
         spill_bytes = Memalloc.spill_bytes t.alloc;
         global_load_bytes = t.global_load_bytes;
         global_store_bytes = t.global_store_bytes;

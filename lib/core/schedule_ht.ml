@@ -13,18 +13,31 @@
    operations are distributed round-robin across cores (line 10),
    streaming row by row through local memory. *)
 
-type options = { mvms_per_transfer : int; strategy : Memalloc.strategy }
+type options = {
+  mvms_per_transfer : int;
+  strategy : Memalloc.strategy;
+  spill_budget : int option;
+      (* lifetime strategy only: cap on planned spill traffic *)
+}
 
-let default_options = { mvms_per_transfer = 2; strategy = Memalloc.Ag_reuse }
+let default_options =
+  { mvms_per_transfer = 2; strategy = Memalloc.Ag_reuse; spill_budget = None }
 
-let schedule ?(options = default_options) (layout : Layout.t) : Isa.t =
+let emit_pass ~options ~plan (layout : Layout.t) : Isa.t =
   Sched_common.ensure_bulk_nursery ();
   let g = layout.Layout.graph in
   let config = Partition.table_config layout.Layout.table in
+  let lifetime = options.strategy = Memalloc.Lifetime in
+  (* Under the lifetime strategy the scratchpad capacity is enforced by
+     the placement plan (deliberate spills), not by the allocator's
+     opportunistic clamp. *)
   let pb =
     Prog_builder.create ~core_count:layout.Layout.core_count
       ~strategy:options.strategy
-      ~capacity:(Some config.Pimhw.Config.local_memory_bytes)
+      ~capacity:
+        (if lifetime then None
+         else Some config.Pimhw.Config.local_memory_bytes)
+      ?plan ()
   in
   let fused_kind, fused_set = Sched_common.fused_activations g in
   (* global ag -> last instr idx (MVMs on one AG serialise); AG ids are
@@ -88,10 +101,18 @@ let schedule ?(options = default_options) (layout : Layout.t) : Isa.t =
                             (if prev_mvm.(ag) >= 0 then [ prev_mvm.(ag) ]
                              else [])
                           in
-                          ignore
-                            (Prog_builder.alloc_ag_slot pb ~core
-                               ~bytes:(out_bytes_per_window * batch_windows)
-                               ~node:node_id ~key:ag);
+                          let slot_spills =
+                            Prog_builder.alloc_ag_slot pb ~core
+                              ~bytes:(out_bytes_per_window * batch_windows)
+                              ~node:node_id ~key:ag
+                          in
+                          (* planned spill refills gate the MVM under
+                             the lifetime strategy; the legacy
+                             disciplines never spill slot requests here
+                             and their dep lists must stay bit-identical *)
+                          let deps =
+                            if lifetime then slot_spills @ deps else deps
+                          in
                           let idx =
                             Prog_builder.emit_mvm pb ~core ~deps ~node:node_id
                               ~ag ~windows:batch_windows
@@ -106,11 +127,16 @@ let schedule ?(options = default_options) (layout : Layout.t) : Isa.t =
                     (* intra-core accumulation across this core's AGs *)
                     let last =
                       if ags_on_core > 1 then begin
-                        ignore
-                          (Prog_builder.alloc_accumulator pb ~core
-                             ~bytes:(out_bytes_per_window * batch_windows)
-                             ~node:node_id ~key:replica_acc_key);
-                        Prog_builder.emit_vec pb ~core ~deps:mvm_idxs
+                        let acc_spills =
+                          Prog_builder.alloc_accumulator pb ~core
+                            ~bytes:(out_bytes_per_window * batch_windows)
+                            ~node:node_id ~key:replica_acc_key
+                        in
+                        let deps =
+                          if lifetime then acc_spills @ mvm_idxs
+                          else mvm_idxs
+                        in
+                        Prog_builder.emit_vec pb ~core ~deps
                           ~node:node_id ~kind:Isa.Vadd
                           ~elements:
                             (info.Partition.out_channels * batch_windows
@@ -130,15 +156,19 @@ let schedule ?(options = default_options) (layout : Layout.t) : Isa.t =
                   if core = head then head_deps := last :: !head_deps
                   else begin
                     let bytes = out_bytes_per_window * batch_windows in
-                    ignore
-                      (Prog_builder.alloc_accumulator pb ~core:head ~bytes
-                         ~node:node_id ~key:replica_acc_key);
+                    let acc_spills =
+                      Prog_builder.alloc_accumulator pb ~core:head ~bytes
+                        ~node:node_id ~key:replica_acc_key
+                    in
                     let recv =
                       Prog_builder.send_recv pb ~src:core ~dst:head ~bytes
                         ~node:node_id ~src_deps:[ last ] ~dst_deps:[] ()
                     in
+                    let add_deps =
+                      if lifetime then acc_spills @ [ recv ] else [ recv ]
+                    in
                     let add =
-                      Prog_builder.emit_vec pb ~core:head ~deps:[ recv ]
+                      Prog_builder.emit_vec pb ~core:head ~deps:add_deps
                         ~node:node_id ~kind:Isa.Vadd
                         ~elements:(info.Partition.out_channels * batch_windows)
                     in
@@ -163,7 +193,22 @@ let schedule ?(options = default_options) (layout : Layout.t) : Isa.t =
               Prog_builder.free_accumulator pb ~core:head ~key:replica_acc_key
             done
           end)
-        nl.Layout.replicas)
+        nl.Layout.replicas;
+      (* HT layers are pipeline stages over global memory: once a node's
+         batches are stored, its MVM staging slots are dead.  Only the
+         lifetime strategy records the deaths — the Fig. 7 disciplines
+         keep slots resident and their traces must stay bit-identical. *)
+      if lifetime then
+        Array.iter
+          (fun (r : Layout.replica) ->
+            if r.Layout.window_hi - r.Layout.window_lo > 0 then
+              List.iter
+                (fun (core, ags) ->
+                  List.iter
+                    (fun ag -> Prog_builder.free_ag_slot pb ~core ~key:ag)
+                    ags)
+                (Layout.ags_by_core r))
+          nl.Layout.replicas)
     layout.Layout.by_node_index;
   (* ---- other operations, distributed across cores (line 10) ---- *)
   let next_core = ref 0 in
@@ -191,11 +236,19 @@ let schedule ?(options = default_options) (layout : Layout.t) : Isa.t =
         for _row = 1 to rows do
           let core = !next_core in
           next_core := (core + 1) mod layout.Layout.core_count;
-          ignore
-            (Prog_builder.alloc_ag_slot pb ~core ~bytes:in_row_bytes ~node:id
-               ~key:(1_000_000 + id));
+          (* Each row stages through a fresh buffer that dies after the
+             store.  This used to be a keyed AG slot paired with a plain
+             per-row free — under AG-reuse the slot only grew once per
+             core while the free reclaimed every row, an over-free the
+             [overfree_bytes] diagnostic now counts; a fresh alloc/free
+             pair is balanced for every discipline and accounting-
+             identical for the non-reclaiming ones. *)
+          let slot_spills =
+            Prog_builder.alloc_fresh pb ~core ~bytes:in_row_bytes ~node:id
+          in
+          let load_deps = if lifetime then slot_spills else [] in
           let load =
-            Prog_builder.emit_load pb ~core ~deps:[] ~node:id
+            Prog_builder.emit_load pb ~core ~deps:load_deps ~node:id
               ~bytes:in_row_bytes
           in
           let vec =
@@ -213,3 +266,14 @@ let schedule ?(options = default_options) (layout : Layout.t) : Isa.t =
     ~mode:Mode.High_throughput ~strategy:options.strategy
     ~ag_core:layout.Layout.ag_core ~ag_xbars:layout.Layout.ag_xbars
     ~pipeline_depth:(Sched_common.pipeline_depth g)
+
+let schedule ?(options = default_options) (layout : Layout.t) : Isa.t =
+  match options.strategy with
+  | Memalloc.Lifetime ->
+      let config = Partition.table_config layout.Layout.table in
+      Lifetime.optimise
+        ~capacity:(Some config.Pimhw.Config.local_memory_bytes)
+        ?spill_budget:options.spill_budget
+        ~schedule:(fun plan -> emit_pass ~options ~plan layout)
+        ()
+  | _ -> emit_pass ~options ~plan:None layout

@@ -3,9 +3,21 @@
     goes through global memory, windows are processed in transfer
     batches of [mvms_per_transfer]. *)
 
-type options = { mvms_per_transfer : int; strategy : Memalloc.strategy }
+type options = {
+  mvms_per_transfer : int;
+  strategy : Memalloc.strategy;
+  spill_budget : int option;
+      (** [Lifetime] strategy only: cap on planned spill traffic;
+          exceeded -> {!Memalloc.Doesnt_fit}. *)
+}
 
 val default_options : options
-(** 2 MVMs per transfer (the paper's Fig. 10 setting), AG-reuse. *)
+(** 2 MVMs per transfer (the paper's Fig. 10 setting), AG-reuse, no
+    spill budget. *)
 
 val schedule : ?options:options -> Layout.t -> Isa.t
+(** Under the [Lifetime] strategy, runs the emission through
+    {!Lifetime.optimise} against the configured scratchpad capacity:
+    oversubscribed cores get deliberate planned spill round trips
+    (instead of the opportunistic clamp, or {!Memalloc.Doesnt_fit} for
+    single requests larger than the scratchpad). *)

@@ -21,11 +21,16 @@
 type options = Schedule_ht.options = {
   mvms_per_transfer : int;
   strategy : Memalloc.strategy;
+  spill_budget : int option;
 }
 
 let default_options = Schedule_ht.default_options
 
 let schedule ?(options = default_options) (layout : Layout.t) : Isa.t =
+  if options.strategy = Memalloc.Lifetime then
+    invalid_arg
+      "Schedule_ht_ref: the reference scheduler predates the lifetime \
+       strategy; the bit-identity contract covers the Fig. 7 disciplines";
   let g = layout.Layout.graph in
   let config = Partition.table_config layout.Layout.table in
   let pb =
@@ -216,9 +221,11 @@ let schedule ?(options = default_options) (layout : Layout.t) : Isa.t =
         for _row = 1 to rows do
           let core = !next_core in
           next_core := (core + 1) mod layout.Layout.core_count;
+          (* fresh per-row staging buffer, freed after the store; a keyed
+             AG slot here under-counted the frees (see Schedule_ht) *)
           ignore
             (Prog_builder_ref.alloc_buffer pb ~core ~bytes:in_row_bytes ~node:id
-               (Memalloc.Ag_slot (1_000_000 + id)));
+               Memalloc.Fresh);
           let load =
             Prog_builder_ref.emit pb ~core ~node:id
               (Isa.Load { bytes = in_row_bytes })

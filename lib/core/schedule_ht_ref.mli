@@ -7,6 +7,7 @@
 type options = Schedule_ht.options = {
   mvms_per_transfer : int;
   strategy : Memalloc.strategy;
+  spill_budget : int option;
 }
 
 val default_options : options

@@ -35,9 +35,15 @@
    original hashtable formulation; the two must produce bit-identical
    programs. *)
 
-type options = { strategy : Memalloc.strategy; row_chunks : int }
+type options = {
+  strategy : Memalloc.strategy;
+  row_chunks : int;
+  spill_budget : int option;
+      (* lifetime strategy only: cap on planned spill traffic *)
+}
 
-let default_options = { strategy = Memalloc.Ag_reuse; row_chunks = 4 }
+let default_options =
+  { strategy = Memalloc.Ag_reuse; row_chunks = 4; spill_budget = None }
 
 (* Ring depth (in pieces) for delivered staging buffers under AG-reuse. *)
 let ring_depth = 32
@@ -75,12 +81,14 @@ let geom ~row_chunks ~replication (node : Nnir.Node.t) =
     in
     { rows = 1; cols = 1; chunks = 1; piece_bytes = row_bytes; row_bytes }
 
-let schedule ?(options = default_options) (layout : Layout.t) : Isa.t =
+let emit_pass ~options ~plan (layout : Layout.t) : Isa.t =
   Sched_common.ensure_bulk_nursery ();
   let g = layout.Layout.graph in
   let core_count = layout.Layout.core_count in
+  let lifetime = options.strategy = Memalloc.Lifetime in
   let pb =
     Prog_builder.create ~core_count ~strategy:options.strategy ~capacity:None
+      ?plan ()
   in
   let fused_kind, fused_set = Sched_common.fused_activations g in
   let node_of id = Nnir.Graph.node g id in
@@ -130,6 +138,43 @@ let schedule ?(options = default_options) (layout : Layout.t) : Isa.t =
   (* AG -> index of its previous MVM (MVMs on one AG serialise) *)
   let prev_mvm = Array.make (max 1 layout.Layout.num_ags) (-1) in
   let acc_key = ref 0 in
+  (* Lifetime strategy: track which staging slots each node owns (its
+     delivered input copies on consumer cores, its output staging ring)
+     so they can be released once the node's last graph consumer has
+     been fully scheduled.  The Fig. 7 disciplines never release slots,
+     so all of this is gated to keep their traces bit-identical with the
+     reference pipelines. *)
+  let topo = Nnir.Graph.topo_order g in
+  let topo_pos = Array.make num_nodes 0 in
+  Array.iteri (fun i id -> topo_pos.(id) <- i) topo;
+  let slots_of = Array.make num_nodes [] in
+  let slot_seen : (int * int, unit) Hashtbl.t = Hashtbl.create 256 in
+  let note_slot ~owner ~core ~key =
+    if lifetime && not (Hashtbl.mem slot_seen (core, key)) then begin
+      Hashtbl.add slot_seen (core, key) ();
+      slots_of.(owner) <- (core, key) :: slots_of.(owner)
+    end
+  in
+  let release_slots owner =
+    List.iter
+      (fun (core, key) -> Prog_builder.free_ag_slot pb ~core ~key)
+      (List.rev slots_of.(owner));
+    slots_of.(owner) <- []
+  in
+  (* walk position -> nodes whose staging dies once it completes *)
+  let dead_after = Array.make (max 1 num_nodes) [] in
+  if lifetime then
+    for id = 0 to num_nodes - 1 do
+      match Nnir.Graph.consumers g id with
+      | [] -> ()
+      | consumers ->
+          let last =
+            List.fold_left
+              (fun acc c -> if topo_pos.(c) > topo_pos.(acc) then c else acc)
+              (List.hd consumers) consumers
+          in
+          dead_after.(topo_pos.(last)) <- id :: dead_after.(topo_pos.(last))
+    done;
   (* Deliver provider piece [s] to [core]. *)
   let deliver ~provider ~s ~core =
     let p = pid ~node:provider ~s in
@@ -146,6 +191,7 @@ let schedule ?(options = default_options) (layout : Layout.t) : Isa.t =
           ignore
             (Prog_builder.alloc_ag_slot pb ~core ~bytes ~node:provider
                ~key:ring_key);
+          note_slot ~owner:provider ~core ~key:ring_key;
           Prog_builder.emit_load pb ~core ~deps:[] ~node:provider ~bytes
         end
         else begin
@@ -159,6 +205,7 @@ let schedule ?(options = default_options) (layout : Layout.t) : Isa.t =
             ignore
               (Prog_builder.alloc_ag_slot pb ~core ~bytes ~node:provider
                  ~key:ring_key);
+            note_slot ~owner:provider ~core ~key:ring_key;
             Prog_builder.send_recv pb ~src:p_core ~dst:core ~bytes
               ~node:provider ~src_deps:[ piece_src_idx.(p) ] ~dst_deps:[] ()
           end
@@ -201,8 +248,8 @@ let schedule ?(options = default_options) (layout : Layout.t) : Isa.t =
     (((q - 1) * pg.chunks) + j_d + 1)
   in
   (* ---- main walk in topological order ---- *)
-  Array.iter
-    (fun id ->
+  Array.iteri
+    (fun pos id ->
       let node = node_of id in
       let op = Nnir.Node.op node in
       let inputs = Nnir.Node.inputs node in
@@ -280,6 +327,7 @@ let schedule ?(options = default_options) (layout : Layout.t) : Isa.t =
                           ignore
                             (Prog_builder.alloc_ag_slot pb ~core
                                ~bytes:piece_out_bytes ~node:id ~key:ag);
+                          note_slot ~owner:id ~core ~key:ag;
                           let idx =
                             Prog_builder.emit_mvm pb ~core ~deps ~node:id ~ag
                               ~windows ~xbars:layout.Layout.ag_xbars.(ag)
@@ -351,7 +399,11 @@ let schedule ?(options = default_options) (layout : Layout.t) : Isa.t =
                      ~node:id ~bytes:piece_out_bytes)
             end
           done
-        done
+        done;
+        (* the node's MVM partial-staging slots die with its last piece;
+           delivered copies of its outputs are noted later, under the
+           same owner, and released after its last consumer *)
+        if lifetime then release_slots id
       end
       else begin
         (* VFU / data-movement operation on the anchor's replica heads *)
@@ -401,12 +453,14 @@ let schedule ?(options = default_options) (layout : Layout.t) : Isa.t =
                      require ~edge:slots.(k) ~provider ~upto ~core)
                    inputs)
             in
+            let out_key =
+              (id * 4096) + (core * ring_depth)
+              + (((r * og.chunks) + j) mod ring_depth)
+            in
             ignore
               (Prog_builder.alloc_ag_slot pb ~core ~bytes:og.piece_bytes
-                 ~node:id
-                 ~key:
-                   ((id * 4096) + (core * ring_depth)
-                   + (((r * og.chunks) + j) mod ring_depth)));
+                 ~node:id ~key:out_key);
+            note_slot ~owner:id ~core ~key:out_key;
             let idx =
               Prog_builder.emit_vec pb ~core ~deps ~node:id ~kind:vec_kind
                 ~elements:(Partition.ceil_div vec_per_row og.chunks)
@@ -421,11 +475,23 @@ let schedule ?(options = default_options) (layout : Layout.t) : Isa.t =
                    ~bytes:og.piece_bytes)
           done
         done
-      end)
-    (Nnir.Graph.topo_order g);
+      end;
+      if lifetime then List.iter release_slots dead_after.(pos))
+    topo;
   (* LL streams rows through all layers at once: a single inference's
      latency is the stream makespan itself. *)
   Prog_builder.finish pb ~graph_name:(Nnir.Graph.name g)
     ~mode:Mode.Low_latency ~strategy:options.strategy
     ~ag_core:layout.Layout.ag_core ~ag_xbars:layout.Layout.ag_xbars
     ~pipeline_depth:1
+
+let schedule ?(options = default_options) (layout : Layout.t) : Isa.t =
+  match options.strategy with
+  | Memalloc.Lifetime ->
+      (* LL cores are not capacity-bound, so the plan never spills: one
+         emission pass profiles the lifetimes and the placement peak is
+         stamped as the resident footprint. *)
+      Lifetime.optimise ~capacity:None ?spill_budget:options.spill_budget
+        ~schedule:(fun plan -> emit_pass ~options ~plan layout)
+        ()
+  | _ -> emit_pass ~options ~plan:None layout

@@ -3,10 +3,20 @@
     conditions, with column-wise replica cooperation.  Intermediate data
     never leaves the chip. *)
 
-type options = { strategy : Memalloc.strategy; row_chunks : int }
+type options = {
+  strategy : Memalloc.strategy;
+  row_chunks : int;
+  spill_budget : int option;
+      (** [Lifetime] strategy only: cap on planned spill traffic;
+          exceeded -> {!Memalloc.Doesnt_fit}.  LL cores are not
+          capacity-bound, so the lifetime plan never actually spills. *)
+}
 
 val default_options : options
 (** AG-reuse, 4 column chunks per output row (widened automatically so
-    every replica owns at least one chunk). *)
+    every replica owns at least one chunk), no spill budget. *)
 
 val schedule : ?options:options -> Layout.t -> Isa.t
+(** Under the [Lifetime] strategy, runs the emission through
+    {!Lifetime.optimise}: precise staging-slot death events are emitted
+    and the stamped memory report carries the placement footprint. *)

@@ -34,6 +34,7 @@
 type options = Schedule_ll.options = {
   strategy : Memalloc.strategy;
   row_chunks : int;
+  spill_budget : int option;
 }
 
 let default_options = Schedule_ll.default_options
@@ -75,6 +76,10 @@ let geom ~row_chunks ~replication (node : Nnir.Node.t) =
     { rows = 1; cols = 1; chunks = 1; piece_bytes = row_bytes; row_bytes }
 
 let schedule ?(options = default_options) (layout : Layout.t) : Isa.t =
+  if options.strategy = Memalloc.Lifetime then
+    invalid_arg
+      "Schedule_ll_ref: the reference scheduler predates the lifetime \
+       strategy; the bit-identity contract covers the Fig. 7 disciplines";
   let g = layout.Layout.graph in
   let pb =
     Prog_builder_ref.create ~core_count:layout.Layout.core_count

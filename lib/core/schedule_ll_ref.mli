@@ -7,6 +7,7 @@
 type options = Schedule_ll.options = {
   strategy : Memalloc.strategy;
   row_chunks : int;
+  spill_budget : int option;
 }
 
 val default_options : options

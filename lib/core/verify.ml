@@ -21,6 +21,7 @@ type kind =
   | Rendezvous_mismatch
   | Rendezvous_deadlock
   | Memory_drift
+  | Memory_overfree
   | Capacity_exceeded
 
 let kind_name = function
@@ -38,6 +39,7 @@ let kind_name = function
   | Rendezvous_mismatch -> "rendezvous-mismatch"
   | Rendezvous_deadlock -> "rendezvous-deadlock"
   | Memory_drift -> "memory-drift"
+  | Memory_overfree -> "memory-overfree"
   | Capacity_exceeded -> "capacity-exceeded"
 
 type violation = {
@@ -423,6 +425,12 @@ let resources ?config (t : Isa.t) =
       (Fmt.str "memory report covers %d cores but the program has %d"
          (Array.length t.memory.Isa.local_peak_bytes)
          t.core_count);
+  if Array.length t.memory.Isa.local_resident_peak_bytes <> t.core_count then
+    add acc Bad_operand
+      (Fmt.str
+         "resident-peak report covers %d cores but the program has %d"
+         (Array.length t.memory.Isa.local_resident_peak_bytes)
+         t.core_count);
   (* replay the allocation trace through a fresh allocator *)
   let trace_ok = ref true in
   Array.iter
@@ -432,6 +440,7 @@ let resources ?config (t : Isa.t) =
         | Isa.Alloc { core; bytes; _ } -> (core, bytes)
         | Isa.Free { core; bytes } -> (core, bytes)
         | Isa.Free_accumulator { core; _ } -> (core, 0)
+        | Isa.Free_ag_slot { core; _ } -> (core, 0)
       in
       if core < 0 || core >= t.core_count || bytes < 0 then begin
         trace_ok := false;
@@ -449,33 +458,103 @@ let resources ?config (t : Isa.t) =
         Some (Some c.Pimhw.Config.local_memory_bytes)
     | Mode.High_throughput, None -> None
   in
-  (match capacity with
+  (* Lifetime programs carry a *planned* placement: demand is replayed
+     unclamped (the plan never clamps the allocator) and residency /
+     spill are recomputed by re-running the deterministic planner on the
+     trace.  Legacy programs replay through the allocator's own clamp. *)
+  let replay_cap =
+    match t.allocator with Memalloc.Lifetime -> Some None | _ -> capacity
+  in
+  (match replay_cap with
   | Some cap
     when !trace_ok
-         && Array.length t.memory.Isa.local_peak_bytes = t.core_count ->
-      let m = Memalloc.create t.allocator ~core_count:t.core_count ~capacity:cap in
-      Array.iter
-        (fun (ev : Isa.mem_event) ->
-          match ev with
-          | Isa.Alloc { core; bytes; request } ->
-              ignore (Memalloc.alloc m ~core ~bytes request)
-          | Isa.Free { core; bytes } -> Memalloc.free m ~core ~bytes
-          | Isa.Free_accumulator { core; key } ->
-              Memalloc.free_accumulator m ~core ~key)
-        t.mem_trace;
-      let peaks = Memalloc.peaks m in
-      Array.iteri
-        (fun core peak ->
-          if peak <> t.memory.Isa.local_peak_bytes.(core) then
-            add acc Memory_drift ~core
-              (Fmt.str "local peak: report says %dB, replay gives %dB"
-                 t.memory.Isa.local_peak_bytes.(core) peak))
-        peaks;
-      let spill = Memalloc.spill_bytes m in
-      if spill <> t.memory.Isa.spill_bytes then
-        add acc Memory_drift
-          (Fmt.str "spill: report says %dB, replay gives %dB"
-             t.memory.Isa.spill_bytes spill)
+         && Array.length t.memory.Isa.local_peak_bytes = t.core_count
+         && Array.length t.memory.Isa.local_resident_peak_bytes
+            = t.core_count -> (
+      try
+        let m =
+          Memalloc.create t.allocator ~core_count:t.core_count ~capacity:cap
+        in
+        Array.iter
+          (fun (ev : Isa.mem_event) ->
+            match ev with
+            | Isa.Alloc { core; bytes; request } ->
+                ignore (Memalloc.alloc m ~core ~bytes request)
+            | Isa.Free { core; bytes } -> Memalloc.free m ~core ~bytes
+            | Isa.Free_accumulator { core; key } ->
+                Memalloc.free_accumulator m ~core ~key
+            | Isa.Free_ag_slot { core; key } ->
+                Memalloc.free_ag_slot m ~core ~key)
+          t.mem_trace;
+        Array.iteri
+          (fun core peak ->
+            if peak <> t.memory.Isa.local_peak_bytes.(core) then
+              add acc Memory_drift ~core
+                (Fmt.str "local peak: report says %dB, replay gives %dB"
+                   t.memory.Isa.local_peak_bytes.(core) peak))
+          (Memalloc.demand_peaks m);
+        (* frees beyond the live set mean the scheduler double-freed a
+           buffer; the allocator's clamp keeps the counters sane but the
+           program's accounting can no longer be trusted *)
+        for core = 0 to t.core_count - 1 do
+          let over = Memalloc.overfree_bytes_on m ~core in
+          if over > 0 then
+            add acc Memory_overfree ~core
+              (Fmt.str "replay reclaimed %dB more than was ever live" over)
+        done;
+        (match t.allocator with
+        | Memalloc.Lifetime -> (
+            match capacity with
+            | None -> () (* HT without a config: plan is unrecoverable *)
+            | Some plan_cap ->
+                let plan =
+                  Lifetime.plan_of_trace ~core_count:t.core_count
+                    ~capacity:plan_cap t.mem_trace
+                in
+                Array.iteri
+                  (fun core peak ->
+                    if
+                      peak <> t.memory.Isa.local_resident_peak_bytes.(core)
+                    then
+                      add acc Memory_drift ~core
+                        (Fmt.str
+                           "resident peak: report says %dB, placement replay \
+                            gives %dB"
+                           t.memory.Isa.local_resident_peak_bytes.(core) peak))
+                  plan.Lifetime.resident;
+                if plan.Lifetime.spill <> t.memory.Isa.spill_bytes then
+                  add acc Memory_drift
+                    (Fmt.str "spill: report says %dB, placement replay gives \
+                              %dB"
+                       t.memory.Isa.spill_bytes plan.Lifetime.spill);
+                match plan_cap with
+                | None -> ()
+                | Some cap_bytes ->
+                    Array.iteri
+                      (fun core peak ->
+                        if peak > cap_bytes then
+                          add acc Capacity_exceeded ~core
+                            (Fmt.str
+                               "placement peak %dB exceeds the %dB scratchpad"
+                               peak cap_bytes))
+                      plan.Lifetime.resident)
+        | _ ->
+            Array.iteri
+              (fun core peak ->
+                if peak <> t.memory.Isa.local_resident_peak_bytes.(core) then
+                  add acc Memory_drift ~core
+                    (Fmt.str
+                       "resident peak: report says %dB, replay gives %dB"
+                       t.memory.Isa.local_resident_peak_bytes.(core) peak))
+              (Memalloc.resident_peaks m);
+            let spill = Memalloc.spill_bytes m in
+            if spill <> t.memory.Isa.spill_bytes then
+              add acc Memory_drift
+                (Fmt.str "spill: report says %dB, replay gives %dB"
+                   t.memory.Isa.spill_bytes spill))
+      with Memalloc.Doesnt_fit msg ->
+        add acc Capacity_exceeded
+          (Fmt.str "allocation replay aborted: %s" msg))
   | _ -> ());
   (* crossbar capacity per core *)
   (match config with

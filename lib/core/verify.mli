@@ -36,7 +36,13 @@ type kind =
   | Rendezvous_mismatch   (** matched pair disagrees on bytes/endpoints *)
   | Rendezvous_deadlock   (** dependency + rendezvous graph has a cycle *)
   | Memory_drift          (** stamped memory report differs from replay *)
-  | Capacity_exceeded     (** per-core crossbars over the config limit *)
+  | Memory_overfree       (** replay reclaimed more bytes than were ever
+                              live on a core: a double-free or a free of
+                              something never allocated *)
+  | Capacity_exceeded     (** per-core crossbars over the config limit,
+                              a lifetime placement peak over the
+                              scratchpad, or a single request larger
+                              than the whole scratchpad *)
 
 val kind_name : kind -> string
 

@@ -587,6 +587,8 @@ let exec ?on_schedule a =
     global_store_bytes = a.store_bytes;
     core_busy_ns = core_busy;
     local_peak_bytes = a.program.Isa.memory.Isa.local_peak_bytes;
+    local_resident_peak_bytes =
+      a.program.Isa.memory.Isa.local_resident_peak_bytes;
     deadlocked = a.executed < total;
   }
 

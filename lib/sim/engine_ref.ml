@@ -378,5 +378,7 @@ let run ?parallelism ?on_schedule (hw : Pimhw.Config.t) (program : Isa.t) =
     global_store_bytes = st.store_bytes;
     core_busy_ns = core_busy;
     local_peak_bytes = program.Isa.memory.Isa.local_peak_bytes;
+    local_resident_peak_bytes =
+      program.Isa.memory.Isa.local_resident_peak_bytes;
     deadlocked = st.executed < total;
   }

@@ -51,7 +51,10 @@ type t = {
   global_load_bytes : int;
   global_store_bytes : int;
   core_busy_ns : float array;   (* active window per core *)
-  local_peak_bytes : int array;
+  local_peak_bytes : int array; (* per-core demand high-water mark *)
+  local_resident_peak_bytes : int array;
+      (* per-core bytes actually held on chip at the worst moment;
+         <= the scratchpad capacity even when the demand peak is not *)
   deadlocked : bool;
 }
 
@@ -71,6 +74,9 @@ let avg_local_peak_bytes t =
 
 let max_local_peak_bytes t = Array.fold_left max 0 t.local_peak_bytes
 
+let max_local_resident_peak_bytes t =
+  Array.fold_left max 0 t.local_resident_peak_bytes
+
 let pp ppf t =
   let e = t.energy in
   Fmt.pf ppf
@@ -78,7 +84,8 @@ let pp ppf t =
     \  energy: %.2f uJ dynamic (MVM %.2f, VEC %.2f, local %.2f, global %.2f, \
      NoC %.2f) + %.2f uJ static@,\
     \  traffic: %d msgs, %.1f kB loaded, %.1f kB stored@,\
-    \  cores active: %d/%d, local peak %.1f kB max / %.1f kB avg@]"
+    \  cores active: %d/%d, local demand peak %.1f kB max / %.1f kB avg, \
+     resident peak %.1f kB max@]"
     t.graph_name Pimcomp.Mode.pp t.mode (t.makespan_ns /. 1e3)
     t.throughput_ips (t.latency_ns /. 1e3)
     (dynamic_pj e /. 1e6) (e.mvm_pj /. 1e6) (e.vec_pj /. 1e6)
@@ -90,3 +97,4 @@ let pp ppf t =
     (Array.length t.core_busy_ns)
     (float_of_int (max_local_peak_bytes t) /. 1024.)
     (avg_local_peak_bytes t /. 1024.)
+    (float_of_int (max_local_resident_peak_bytes t) /. 1024.)

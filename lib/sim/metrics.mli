@@ -32,11 +32,14 @@ type t = {
   global_load_bytes : int;
   global_store_bytes : int;
   core_busy_ns : float array;
-  local_peak_bytes : int array;
+  local_peak_bytes : int array;  (** per-core demand high-water mark *)
+  local_resident_peak_bytes : int array;
+      (** per-core bytes actually held on chip at the worst moment *)
   deadlocked : bool;
 }
 
 val active_cores : t -> int
 val avg_local_peak_bytes : t -> float
 val max_local_peak_bytes : t -> int
+val max_local_resident_peak_bytes : t -> int
 val pp : t Fmt.t

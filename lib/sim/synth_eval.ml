@@ -29,6 +29,10 @@ let eval_one ~cache ~networks slot (job : Pimcomp.Synth.job) =
   with
   | Pimcomp.Chromosome.Infeasible reason ->
       Pimcomp.Synth.Eval_infeasible reason
+  | Pimcomp.Memalloc.Doesnt_fit reason ->
+      (* the design's scratchpad cannot hold a single request under the
+         chosen discipline — a property of the point, not a bug *)
+      Pimcomp.Synth.Eval_infeasible reason
   | Invalid_argument reason -> Pimcomp.Synth.Eval_infeasible reason
   | exn ->
       let bt = Printexc.get_raw_backtrace () in

@@ -53,9 +53,9 @@ let ll_pair ~strategy layout =
     Pimcomp.Schedule_ll_ref.schedule ~options:ref_options layout )
 
 let ht_pair ~strategy layout =
-  let options = { Pimcomp.Schedule_ht.mvms_per_transfer = 2; strategy } in
+  let options = { Pimcomp.Schedule_ht.mvms_per_transfer = 2; strategy; spill_budget = None } in
   let ref_options =
-    { Pimcomp.Schedule_ht_ref.mvms_per_transfer = 2; strategy }
+    { Pimcomp.Schedule_ht_ref.mvms_per_transfer = 2; strategy; spill_budget = None }
   in
   ( Pimcomp.Schedule_ht.schedule ~options layout,
     Pimcomp.Schedule_ht_ref.schedule ~options:ref_options layout )

@@ -1,8 +1,10 @@
 (* Tests for the local-memory allocation disciplines (Section IV-D3):
-   peak ordering Naive >= ADD-reuse >= AG-reuse, spill accounting, and
-   accumulator/slot reuse semantics. *)
+   peak ordering Naive >= ADD-reuse >= AG-reuse, spill accounting,
+   accumulator/slot reuse semantics, and the demand/resident peak split
+   plus the over-free diagnostic added with the lifetime allocator. *)
 
 let strategies = [ Pimcomp.Memalloc.Naive; Add_reuse; Ag_reuse ]
+let all_strategies = strategies @ [ Pimcomp.Memalloc.Lifetime ]
 
 let test_fresh_always_allocates () =
   List.iter
@@ -14,8 +16,8 @@ let test_fresh_always_allocates () =
       Alcotest.(check int)
         (Pimcomp.Memalloc.strategy_name s ^ " fresh peak")
         1000
-        (Pimcomp.Memalloc.peak a ~core:0))
-    strategies
+        (Pimcomp.Memalloc.demand_peak a ~core:0))
+    all_strategies
 
 let test_accumulator_reuse () =
   let peak s =
@@ -25,13 +27,15 @@ let test_accumulator_reuse () =
         (Pimcomp.Memalloc.alloc a ~core:0 ~bytes:64
            (Pimcomp.Memalloc.Accumulator 7))
     done;
-    Pimcomp.Memalloc.peak a ~core:0
+    Pimcomp.Memalloc.demand_peak a ~core:0
   in
   Alcotest.(check int) "naive accumulates" 640 (peak Pimcomp.Memalloc.Naive);
   Alcotest.(check int) "ADD-reuse holds one block" 64
     (peak Pimcomp.Memalloc.Add_reuse);
   Alcotest.(check int) "AG-reuse holds one block" 64
-    (peak Pimcomp.Memalloc.Ag_reuse)
+    (peak Pimcomp.Memalloc.Ag_reuse);
+  Alcotest.(check int) "lifetime holds one block" 64
+    (peak Pimcomp.Memalloc.Lifetime)
 
 let test_ag_slot_reuse () =
   let peak s =
@@ -40,12 +44,13 @@ let test_ag_slot_reuse () =
       ignore
         (Pimcomp.Memalloc.alloc a ~core:0 ~bytes:64 (Pimcomp.Memalloc.Ag_slot 3))
     done;
-    Pimcomp.Memalloc.peak a ~core:0
+    Pimcomp.Memalloc.demand_peak a ~core:0
   in
   Alcotest.(check int) "naive accumulates" 640 (peak Pimcomp.Memalloc.Naive);
   Alcotest.(check int) "ADD-reuse accumulates slots" 640
     (peak Pimcomp.Memalloc.Add_reuse);
-  Alcotest.(check int) "AG-reuse recycles" 64 (peak Pimcomp.Memalloc.Ag_reuse)
+  Alcotest.(check int) "AG-reuse recycles" 64 (peak Pimcomp.Memalloc.Ag_reuse);
+  Alcotest.(check int) "lifetime recycles" 64 (peak Pimcomp.Memalloc.Lifetime)
 
 let test_free_only_ag_reuse () =
   let residual s =
@@ -53,14 +58,16 @@ let test_free_only_ag_reuse () =
     ignore (Pimcomp.Memalloc.alloc a ~core:0 ~bytes:100 Pimcomp.Memalloc.Fresh);
     Pimcomp.Memalloc.free a ~core:0 ~bytes:100;
     ignore (Pimcomp.Memalloc.alloc a ~core:0 ~bytes:100 Pimcomp.Memalloc.Fresh);
-    Pimcomp.Memalloc.peak a ~core:0
+    Pimcomp.Memalloc.demand_peak a ~core:0
   in
   Alcotest.(check int) "naive ignores free" 200
     (residual Pimcomp.Memalloc.Naive);
   Alcotest.(check int) "ADD-reuse ignores free" 200
     (residual Pimcomp.Memalloc.Add_reuse);
   Alcotest.(check int) "AG-reuse reclaims" 100
-    (residual Pimcomp.Memalloc.Ag_reuse)
+    (residual Pimcomp.Memalloc.Ag_reuse);
+  Alcotest.(check int) "lifetime reclaims" 100
+    (residual Pimcomp.Memalloc.Lifetime)
 
 let test_spill_accounting () =
   let a =
@@ -98,9 +105,75 @@ let test_per_core_isolation () =
       ~capacity:None
   in
   ignore (Pimcomp.Memalloc.alloc a ~core:1 ~bytes:500 Pimcomp.Memalloc.Fresh);
-  Alcotest.(check int) "core 0 untouched" 0 (Pimcomp.Memalloc.peak a ~core:0);
-  Alcotest.(check int) "core 1 peak" 500 (Pimcomp.Memalloc.peak a ~core:1);
-  Alcotest.(check (array int)) "peaks" [| 0; 500; 0 |] (Pimcomp.Memalloc.peaks a)
+  Alcotest.(check int) "core 0 untouched" 0
+    (Pimcomp.Memalloc.demand_peak a ~core:0);
+  Alcotest.(check int) "core 1 peak" 500
+    (Pimcomp.Memalloc.demand_peak a ~core:1);
+  Alcotest.(check (array int)) "peaks" [| 0; 500; 0 |]
+    (Pimcomp.Memalloc.demand_peaks a)
+
+let test_negative_size_rejected () =
+  List.iter
+    (fun s ->
+      let a = Pimcomp.Memalloc.create s ~core_count:1 ~capacity:None in
+      Alcotest.check_raises
+        (Pimcomp.Memalloc.strategy_name s ^ " negative alloc")
+        (Invalid_argument "Memalloc.alloc: negative size -1") (fun () ->
+          ignore
+            (Pimcomp.Memalloc.alloc a ~core:0 ~bytes:(-1) Pimcomp.Memalloc.Fresh));
+      Alcotest.check_raises
+        (Pimcomp.Memalloc.strategy_name s ^ " negative free")
+        (Invalid_argument "Memalloc.free: negative size -7") (fun () ->
+          Pimcomp.Memalloc.free a ~core:0 ~bytes:(-7)))
+    all_strategies
+
+let test_overfree_diagnostic () =
+  (* An over-free (freeing more than is live) used to be silently clamped
+     to zero; it now surfaces through [overfree_bytes] so Verify can turn
+     it into a structured diagnostic instead of masking a double-free. *)
+  let a =
+    Pimcomp.Memalloc.create Pimcomp.Memalloc.Ag_reuse ~core_count:2
+      ~capacity:None
+  in
+  ignore (Pimcomp.Memalloc.alloc a ~core:0 ~bytes:100 Pimcomp.Memalloc.Fresh);
+  Pimcomp.Memalloc.free a ~core:0 ~bytes:100;
+  Pimcomp.Memalloc.free a ~core:0 ~bytes:40;
+  (* double free *)
+  Alcotest.(check int) "underflow counted" 40
+    (Pimcomp.Memalloc.overfree_bytes_on a ~core:0);
+  Alcotest.(check int) "other core clean" 0
+    (Pimcomp.Memalloc.overfree_bytes_on a ~core:1);
+  Alcotest.(check int) "total" 40 (Pimcomp.Memalloc.overfree_bytes a);
+  Alcotest.(check int) "current clamped at zero" 0
+    (Pimcomp.Memalloc.current a ~core:0)
+
+let test_demand_vs_resident () =
+  (* Demand is the pre-clamp high-water mark and may exceed the
+     scratchpad; resident is post-clamp and never does. *)
+  let a =
+    Pimcomp.Memalloc.create Pimcomp.Memalloc.Naive ~core_count:1
+      ~capacity:(Some 100)
+  in
+  ignore (Pimcomp.Memalloc.alloc a ~core:0 ~bytes:80 Pimcomp.Memalloc.Fresh);
+  ignore (Pimcomp.Memalloc.alloc a ~core:0 ~bytes:50 Pimcomp.Memalloc.Fresh);
+  Alcotest.(check int) "demand exceeds capacity" 130
+    (Pimcomp.Memalloc.demand_peak a ~core:0);
+  Alcotest.(check int) "resident clamps at capacity" 100
+    (Pimcomp.Memalloc.resident_peak a ~core:0);
+  Alcotest.(check (array int)) "demand array" [| 130 |]
+    (Pimcomp.Memalloc.demand_peaks a);
+  Alcotest.(check (array int)) "resident array" [| 100 |]
+    (Pimcomp.Memalloc.resident_peaks a)
+
+let test_single_request_over_capacity_raises () =
+  let a =
+    Pimcomp.Memalloc.create Pimcomp.Memalloc.Ag_reuse ~core_count:1
+      ~capacity:(Some 64)
+  in
+  Alcotest.(check bool) "raises Doesnt_fit" true
+    (match Pimcomp.Memalloc.alloc a ~core:0 ~bytes:65 Pimcomp.Memalloc.Fresh with
+    | exception Pimcomp.Memalloc.Doesnt_fit _ -> true
+    | _ -> false)
 
 (* The reuse hierarchy holds for ANY interleaved request trace. *)
 let reuse_hierarchy =
@@ -125,12 +198,89 @@ let reuse_hierarchy =
             in
             ignore (Pimcomp.Memalloc.alloc a ~core:0 ~bytes:32 req))
           trace;
-        Pimcomp.Memalloc.peak a ~core:0
+        Pimcomp.Memalloc.demand_peak a ~core:0
       in
       let naive = run Pimcomp.Memalloc.Naive in
       let add = run Pimcomp.Memalloc.Add_reuse in
       let ag = run Pimcomp.Memalloc.Ag_reuse in
       ag <= add && add <= naive)
+
+(* Generator for mixed alloc/free traces used by the accounting
+   properties below: (op, key, bytes) with op 0=Fresh alloc,
+   1=Accumulator alloc, 2=Ag_slot alloc, 3=free, 4=free_accumulator. *)
+let mixed_trace_gen =
+  QCheck.Gen.(
+    list_size (int_range 1 80)
+      (map3
+         (fun op key bytes -> (op, key, bytes))
+         (int_range 0 4) (int_range 0 4) (int_range 1 96)))
+
+(* Accounting invariant: with no capacity, [current] always equals the
+   bytes handed out minus the bytes reclaimed — Σ live − phantom — and
+   never goes negative however adversarial the free pattern. *)
+let current_accounting =
+  QCheck.Test.make ~name:"current = handed out - reclaimed (all strategies)"
+    ~count:300 (QCheck.make mixed_trace_gen) (fun trace ->
+      List.for_all
+        (fun s ->
+          let a = Pimcomp.Memalloc.create s ~core_count:1 ~capacity:None in
+          List.iter
+            (fun (op, key, bytes) ->
+              match op with
+              | 0 ->
+                  ignore
+                    (Pimcomp.Memalloc.alloc a ~core:0 ~bytes
+                       Pimcomp.Memalloc.Fresh)
+              | 1 ->
+                  ignore
+                    (Pimcomp.Memalloc.alloc a ~core:0 ~bytes
+                       (Pimcomp.Memalloc.Accumulator key))
+              | 2 ->
+                  ignore
+                    (Pimcomp.Memalloc.alloc a ~core:0 ~bytes
+                       (Pimcomp.Memalloc.Ag_slot key))
+              | 3 -> Pimcomp.Memalloc.free a ~core:0 ~bytes
+              | _ -> Pimcomp.Memalloc.free_accumulator a ~core:0 ~key)
+            trace;
+          let current = Pimcomp.Memalloc.current a ~core:0 in
+          current >= 0
+          && current <= Pimcomp.Memalloc.demand_peak a ~core:0
+          && Pimcomp.Memalloc.resident_peak a ~core:0
+             = Pimcomp.Memalloc.demand_peak a ~core:0)
+        Pimcomp.Memalloc.[ Naive; Add_reuse; Ag_reuse; Lifetime ])
+
+(* With a capacity, the resident peak may never exceed it, while demand
+   is free to — and over-free never pushes current below zero. *)
+let resident_below_capacity =
+  QCheck.Test.make ~name:"resident peak <= capacity (all strategies)"
+    ~count:300 (QCheck.make mixed_trace_gen) (fun trace ->
+      let cap = 128 in
+      List.for_all
+        (fun s ->
+          let a =
+            Pimcomp.Memalloc.create s ~core_count:1 ~capacity:(Some cap)
+          in
+          List.iter
+            (fun (op, key, bytes) ->
+              match op with
+              | 0 ->
+                  ignore
+                    (Pimcomp.Memalloc.alloc a ~core:0 ~bytes
+                       Pimcomp.Memalloc.Fresh)
+              | 1 ->
+                  ignore
+                    (Pimcomp.Memalloc.alloc a ~core:0 ~bytes
+                       (Pimcomp.Memalloc.Accumulator key))
+              | 2 ->
+                  ignore
+                    (Pimcomp.Memalloc.alloc a ~core:0 ~bytes
+                       (Pimcomp.Memalloc.Ag_slot key))
+              | 3 -> Pimcomp.Memalloc.free a ~core:0 ~bytes
+              | _ -> Pimcomp.Memalloc.free_accumulator a ~core:0 ~key)
+            trace;
+          Pimcomp.Memalloc.resident_peak a ~core:0 <= cap
+          && Pimcomp.Memalloc.current a ~core:0 >= 0)
+        Pimcomp.Memalloc.[ Naive; Add_reuse; Ag_reuse; Lifetime ])
 
 let test_strategy_names () =
   List.iter
@@ -138,7 +288,7 @@ let test_strategy_names () =
       Alcotest.(check bool) "name parses back" true
         (Pimcomp.Memalloc.strategy_of_string (Pimcomp.Memalloc.strategy_name s)
         = s))
-    strategies
+    all_strategies
 
 let () =
   Alcotest.run "memalloc"
@@ -155,7 +305,20 @@ let () =
             test_spill_free_double_count;
           Alcotest.test_case "per-core isolation" `Quick
             test_per_core_isolation;
+          Alcotest.test_case "negative sizes rejected" `Quick
+            test_negative_size_rejected;
+          Alcotest.test_case "over-free diagnostic" `Quick
+            test_overfree_diagnostic;
+          Alcotest.test_case "demand vs resident peaks" `Quick
+            test_demand_vs_resident;
+          Alcotest.test_case "oversized request raises" `Quick
+            test_single_request_over_capacity_raises;
           Alcotest.test_case "strategy names" `Quick test_strategy_names;
         ] );
-      ("properties", [ QCheck_alcotest.to_alcotest reuse_hierarchy ]);
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest reuse_hierarchy;
+          QCheck_alcotest.to_alcotest current_accounting;
+          QCheck_alcotest.to_alcotest resident_below_capacity;
+        ] );
     ]

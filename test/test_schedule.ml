@@ -18,7 +18,9 @@ let layout_of ?(seed = 1) name size =
 
 let schedule_ht ?(strategy = Pimcomp.Memalloc.Ag_reuse) layout =
   Pimcomp.Schedule_ht.schedule
-    ~options:{ Pimcomp.Schedule_ht.mvms_per_transfer = 2; strategy }
+    ~options:
+      { Pimcomp.Schedule_ht.mvms_per_transfer = 2; strategy;
+        spill_budget = None }
     layout
 
 let schedule_ll ?(strategy = Pimcomp.Memalloc.Ag_reuse) layout =
@@ -94,14 +96,14 @@ let test_mvms_per_transfer_scaling () =
     Pimcomp.Schedule_ht.schedule
       ~options:
         { Pimcomp.Schedule_ht.mvms_per_transfer = 1;
-          strategy = Pimcomp.Memalloc.Ag_reuse }
+          strategy = Pimcomp.Memalloc.Ag_reuse; spill_budget = None }
       layout
   in
   let p4 =
     Pimcomp.Schedule_ht.schedule
       ~options:
         { Pimcomp.Schedule_ht.mvms_per_transfer = 4;
-          strategy = Pimcomp.Memalloc.Ag_reuse }
+          strategy = Pimcomp.Memalloc.Ag_reuse; spill_budget = None }
       layout
   in
   Alcotest.(check bool) "fewer bursts with batching" true

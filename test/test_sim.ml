@@ -19,6 +19,7 @@ let mk_program ?(core_count = 2) ?(num_ags = 2) cores =
     memory =
       {
         Pimcomp.Isa.local_peak_bytes = Array.make core_count 0;
+        local_resident_peak_bytes = Array.make core_count 0;
         spill_bytes = 0;
         global_load_bytes = 0;
         global_store_bytes = 0;

@@ -125,6 +125,7 @@ let corpus () :
       memory =
         {
           Isa.local_peak_bytes = [| 0; 0 |];
+          local_resident_peak_bytes = [| 0; 0 |];
           spill_bytes = 0;
           global_load_bytes = 0;
           global_store_bytes = 0;
