@@ -1870,6 +1870,193 @@ let alloc_bench () =
         tight_name tight_bytes tight_spill tight_max tight_verified
         (tight_metrics.Pimsim.Metrics.makespan_ns /. 1e3))
 
+(* --- streaming batch ----------------------------------------------------------
+   The constant-memory streaming engine (Pimsim.Batch.run_stream) against
+   materialised replication at a large batch count: wall clock, resident
+   state, and exactness.  Materialised replication pays O(batches x n)
+   for the replicated program and its arena; the stream pays O(window x n)
+   and the period detector closes the tail analytically once the
+   retirement cadence locks (DESIGN.md §3.9).  Gates at full size:
+   bit-identity against the materialised oracle at N <= 8, the detector
+   fired at N = 256 with the steady interval matching the materialised
+   baseline bit-for-bit, and >= 10x on both wall clock and resident
+   state.  Results land in BENCH_STREAM.json; PIMCOMP_SIM_TINY=1 shrinks
+   the run to the tiny network — whose bursty HT cadence the detector
+   correctly refuses to extrapolate, so the speed gates are recorded but
+   only the identity and boundedness gates are enforced there. *)
+let stream_bench () =
+  let tiny = Sys.getenv_opt "PIMCOMP_SIM_TINY" <> None in
+  let net =
+    if tiny then ("tiny", Nnir.Zoo.min_input_size "tiny")
+    else ("resnet18", Nnir.Zoo.min_input_size "resnet18")
+  in
+  (* Dyadic global-memory bandwidth keeps every per-instruction latency
+     a dyadic rational, so the steady-interval comparison is exact
+     rather than within float noise (same device as test_stream).
+     resnet18 runs at its minimum input size, where the HT retirement
+     cadence locks bitwise; at the 1/4-resolution size the cadence
+     never repeats exactly and the detector (correctly) refuses. *)
+  let hw_s = { hw with Pimhw.Config.global_memory_gbps = 64.0 } in
+  let parallelism = Pimsim.Engine.default_parallelism in
+  let options =
+    {
+      Pimcomp.Compile.default_options with
+      mode = Pimcomp.Mode.High_throughput;
+      parallelism;
+      strategy = puma;
+    }
+  in
+  let program =
+    (Pimcomp.Compile.compile ~options hw_s (graph_of net)).Pimcomp.Compile
+      .program
+  in
+  let window = Pimsim.Batch.default_window program in
+  let big_n = if tiny then 64 else 256 in
+  let reps = if tiny then 2 else 3 in
+  Fmt.pr
+    "Streaming batched simulation on %s@%d HT (PUMA-like mapping, \
+     parallelism %d,@.window %d, dyadic memory bandwidth).@.@."
+    (fst net) (snd net) parallelism window;
+  Fmt.pr "identity vs materialised replication (window 0, detector off):@.";
+  let identity_rows =
+    List.map
+      (fun n ->
+        let mat = Pimsim.Batch.run ~parallelism hw_s program ~batches:n in
+        let st, _ =
+          Pimsim.Batch.run_stream ~parallelism ~window:0 ~detect:false hw_s
+            program ~batches:n
+        in
+        let identical = st = mat in
+        Fmt.pr "  N=%-3d %s@." n
+          (if identical then "bit-identical" else "DIVERGED");
+        (n, identical))
+      [ 1; 2; 4; 8 ]
+  in
+  let all_identical = List.for_all snd identity_rows in
+  let timed f =
+    let best = ref infinity and result = ref None in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt;
+      result := Some r
+    done;
+    (Option.get !result, !best)
+  in
+  let mat_big, mat_s =
+    timed (fun () -> Pimsim.Batch.run ~parallelism hw_s program ~batches:big_n)
+  in
+  let (stream_big, stats), stream_s =
+    timed (fun () ->
+        Pimsim.Batch.run_stream ~parallelism hw_s program ~batches:big_n)
+  in
+  (* Resident state: what each path must hold live to simulate N
+     instances — the replicated program plus its arena on one side, the
+     single-instance arena plus the O(window x n) streaming slot state
+     on the other. *)
+  let mat_words =
+    let rep = Pimsim.Batch.replicate program ~batches:big_n in
+    let arena = Pimsim.Engine.arena ~parallelism hw_s rep in
+    Obj.reachable_words (Obj.repr (rep, arena))
+  in
+  let stream_words =
+    Obj.reachable_words
+      (Obj.repr (Pimsim.Engine.arena ~parallelism hw_s program))
+    + stats.Pimsim.Engine.state_words
+  in
+  let wall_speedup = mat_s /. stream_s in
+  let mem_ratio = float_of_int mat_words /. float_of_int stream_words in
+  let fired = stats.Pimsim.Engine.fired_at <> None in
+  let steady_match =
+    stream_big.Pimsim.Batch.steady_interval_ns
+    = mat_big.Pimsim.Batch.steady_interval_ns
+  in
+  Fmt.pr
+    "@.N=%d: materialised %.3f s, streamed %.3f s (%.1fx, bar: >= 10x)@."
+    big_n mat_s stream_s wall_speedup;
+  Fmt.pr
+    "resident state: materialised %d words, streamed %d words (%.1fx, bar: \
+     >= 10x)@."
+    mat_words stream_words mem_ratio;
+  Fmt.pr
+    "detector: fired %b (at instance %s), %d simulated + %d extrapolated, \
+     peak %d/%d slots@."
+    fired
+    (match stats.Pimsim.Engine.fired_at with
+    | Some k -> string_of_int k
+    | None -> "-")
+    stats.Pimsim.Engine.simulated_instances
+    stats.Pimsim.Engine.extrapolated_instances stats.Pimsim.Engine.peak_slots
+    window;
+  Fmt.pr
+    "steady interval: streamed %.6f ns vs materialised %.6f ns (%s)@."
+    stream_big.Pimsim.Batch.steady_interval_ns
+    mat_big.Pimsim.Batch.steady_interval_ns
+    (if steady_match then "exact" else "DIVERGED");
+  write_json "BENCH_STREAM.json" (fun json ->
+      Format.fprintf json
+        "{@.  \"tiny\": %b,@.  \"network\": %S,@.  \"input_size\": %d,@.  \
+         \"parallelism\": %d,@.  \"window\": %d,@.  \"batches\": %d,@."
+        tiny (fst net) (snd net) parallelism window big_n;
+      Format.fprintf json "  \"identity\": [@.";
+      List.iteri
+        (fun i (n, identical) ->
+          Format.fprintf json
+            "    { \"batches\": %d, \"bit_identical\": %b }%s@." n identical
+            (if i = List.length identity_rows - 1 then "" else ","))
+        identity_rows;
+      Format.fprintf json "  ],@.  \"all_identical\": %b,@." all_identical;
+      Format.fprintf json
+        "  \"materialised_seconds\": %.6f,@.  \"stream_seconds\": %.6f,@.  \
+         \"wall_speedup\": %.2f,@."
+        mat_s stream_s wall_speedup;
+      Format.fprintf json
+        "  \"materialised_words\": %d,@.  \"stream_words\": %d,@.  \
+         \"memory_ratio\": %.2f,@."
+        mat_words stream_words mem_ratio;
+      Format.fprintf json
+        "  \"fired\": %b,@.  \"fired_at\": %s,@.  \"simulated_instances\": \
+         %d,@.  \"extrapolated_instances\": %d,@.  \"peak_slots\": %d,@."
+        fired
+        (match stats.Pimsim.Engine.fired_at with
+        | Some k -> string_of_int k
+        | None -> "null")
+        stats.Pimsim.Engine.simulated_instances
+        stats.Pimsim.Engine.extrapolated_instances
+        stats.Pimsim.Engine.peak_slots;
+      Format.fprintf json
+        "  \"steady_interval_ns\": { \"stream\": %.17g, \"materialised\": \
+         %.17g, \"exact_match\": %b },@."
+        stream_big.Pimsim.Batch.steady_interval_ns
+        mat_big.Pimsim.Batch.steady_interval_ns steady_match;
+      Format.fprintf json
+        "  \"meets_10x_wall\": %b,@.  \"meets_10x_memory\": %b@.}@."
+        (wall_speedup >= 10.0) (mem_ratio >= 10.0));
+  if not all_identical then
+    failwith
+      "stream: streamed result diverged from materialised replication at \
+       small N";
+  if window > 0 && stats.Pimsim.Engine.peak_slots > window then
+    failwith
+      (Fmt.str "stream: %d slots resident exceeds the %d-instance window"
+         stats.Pimsim.Engine.peak_slots window);
+  if not tiny then begin
+    if not fired then
+      failwith
+        (Fmt.str "stream: period detector did not fire at N=%d" big_n);
+    if not steady_match then
+      failwith "stream: steady interval diverged from the materialised run";
+    if wall_speedup < 10.0 then
+      failwith
+        (Fmt.str "stream: wall-clock speedup %.1fx below the 10x gate"
+           wall_speedup);
+    if mem_ratio < 10.0 then
+      failwith
+        (Fmt.str "stream: resident-state ratio %.1fx below the 10x gate"
+           mem_ratio)
+  end
+
 (* --- driver ------------------------------------------------------------------- *)
 
 let sections : (string * (unit -> unit)) list =
@@ -1889,6 +2076,7 @@ let sections : (string * (unit -> unit)) list =
     ("micro", micro);
     ("synth", synth_bench);
     ("alloc", alloc_bench);
+    ("stream", stream_bench);
   ]
 
 let () =

@@ -50,6 +50,14 @@ let parallelism_arg =
     & opt int Pimsim.Engine.default_parallelism
     & info [ "parallelism"; "p" ] ~doc)
 
+let batches_arg =
+  let doc =
+    "Simulate this many back-to-back pipelined inferences through the \
+     constant-memory streaming engine (steady-state period detection on). \
+     Default 1: a single cold-start inference."
+  in
+  Arg.(value & opt int 1 & info [ "batches" ] ~doc)
+
 let cores_arg =
   let doc = "Number of cores (default: smallest machine that fits)." in
   Arg.(value & opt (some int) None & info [ "cores" ] ~doc)
@@ -301,7 +309,8 @@ let table1_cmd =
     Term.(term_result (const run $ const ()))
 
 let compile_term simulate =
-  let run network input_size mode parallelism cores allocator spill_budget
+  let run network input_size mode parallelism batches cores allocator
+      spill_budget
       strategy seed generations fast ga_islands ga_migration verbose simplify
       objective verify emit_isa emit_trace cache_dir cache_max_mb =
     wrap (fun () ->
@@ -371,12 +380,21 @@ let compile_term simulate =
               (Pimsim.Trace.length trace) path Pimsim.Metrics.pp metrics
         | None ->
             if simulate then
-              let metrics = Pimsim.Engine.run ~parallelism hw program in
-              Fmt.pr "@.%a@." Pimsim.Metrics.pp metrics))
+              if batches > 1 then begin
+                let r, _stats =
+                  Pimsim.Batch.run_stream ~parallelism hw program ~batches
+                in
+                Fmt.pr "@.%a@.@.%a@." Pimsim.Batch.pp r Pimsim.Metrics.pp
+                  r.Pimsim.Batch.metrics
+              end
+              else
+                let metrics = Pimsim.Engine.run ~parallelism hw program in
+                Fmt.pr "@.%a@." Pimsim.Metrics.pp metrics))
   in
   Term.(
     term_result
       (const run $ network_arg $ input_size_arg $ mode_arg $ parallelism_arg
+     $ batches_arg
      $ cores_arg $ allocator_arg $ spill_budget_arg $ strategy_arg $ seed_arg
      $ generations_arg
      $ fast_arg $ ga_islands_arg $ ga_migration_arg $ verbose_arg
@@ -669,22 +687,51 @@ module Serve = struct
                 ( "error",
                   J.String (Fmt.str "%a" Pimcomp.Verify.report violations) );
               ])
-    | "simulate" ->
-        let metrics =
-          Pimsim.Engine.run
-            ~parallelism:(options.Pimcomp.Compile.parallelism)
-            hw served.Pimcomp.Compile.program
-        in
-        J.Obj
-          (program_fields served
-          @ [
-              ("latency_ns", J.Float metrics.Pimsim.Metrics.latency_ns);
-              ( "throughput_ips",
-                J.Float metrics.Pimsim.Metrics.throughput_ips );
-              ( "energy_pj",
-                J.Float
-                  (Pimsim.Metrics.total_pj metrics.Pimsim.Metrics.energy) );
-            ])
+    | "simulate" -> (
+        let parallelism = options.Pimcomp.Compile.parallelism in
+        match J.int_field ~default:1 "batches" req with
+        | batches when batches > 1 ->
+            (* streaming batched simulation: constant-memory pipelined
+               stream, period detector on *)
+            let r, stats =
+              Pimsim.Batch.run_stream ~parallelism hw
+                served.Pimcomp.Compile.program ~batches
+            in
+            let metrics = r.Pimsim.Batch.metrics in
+            J.Obj
+              (program_fields served
+              @ [
+                  ("batches", J.Int batches);
+                  ("total_ns", J.Float r.Pimsim.Batch.total_ns);
+                  ( "steady_interval_ns",
+                    J.Float r.Pimsim.Batch.steady_interval_ns );
+                  ("latency_ns", J.Float metrics.Pimsim.Metrics.latency_ns);
+                  ( "throughput_ips",
+                    J.Float r.Pimsim.Batch.throughput_ips );
+                  ( "energy_pj",
+                    J.Float
+                      (Pimsim.Metrics.total_pj metrics.Pimsim.Metrics.energy)
+                  );
+                  ( "simulated_instances",
+                    J.Int stats.Pimsim.Engine.simulated_instances );
+                  ( "extrapolated_instances",
+                    J.Int stats.Pimsim.Engine.extrapolated_instances );
+                ])
+        | _ ->
+            let metrics =
+              Pimsim.Engine.run ~parallelism hw served.Pimcomp.Compile.program
+            in
+            J.Obj
+              (program_fields served
+              @ [
+                  ("latency_ns", J.Float metrics.Pimsim.Metrics.latency_ns);
+                  ( "throughput_ips",
+                    J.Float metrics.Pimsim.Metrics.throughput_ips );
+                  ( "energy_pj",
+                    J.Float
+                      (Pimsim.Metrics.total_pj metrics.Pimsim.Metrics.energy)
+                  );
+                ]))
     | op -> error (Fmt.str "unknown op %S" op)
 
   let stats_response cache =

@@ -1,8 +1,18 @@
-(* Batched simulation: replicate a compiled stream for [batches]
-   back-to-back inferences and run it as one program.  Crossbars (AG
-   ids) are shared across instances — the weights are the same physical
-   arrays — so structural conflicts serialise exactly where the hardware
-   would, while independent instances overlap freely.
+(* Batched simulation: [batches] back-to-back inferences of one
+   compiled stream.  Crossbars (AG ids) are shared across instances —
+   the weights are the same physical arrays — so structural conflicts
+   serialise exactly where the hardware would, while independent
+   instances overlap freely.
+
+   Two execution paths, asserted bit-identical differentially:
+
+   - [replicate] + [run]: materialise the whole program x batches
+     (O(n x batches) instructions, tags and heap events) and hand it to
+     the plain engine.  Kept as the oracle for differential testing.
+   - [run_stream]: the streaming engine ({!Engine.stream}) pushes
+     instances through a recycled window of in-flight slots — O(window
+     x n) memory for any batch count — and may close the tail
+     analytically once the steady-state period detector fires.
 
    This validates the steady-state throughput read on single-stream HT
    simulations (throughput ~ 1/makespan): with the pipeline full, the
@@ -10,8 +20,16 @@
 
 module Isa = Pimcomp.Isa
 
+let checked_mul a b what =
+  if a <> 0 && b > max_int / a then
+    invalid_arg (Fmt.str "Batch.replicate: %s (%d x %d) overflows" what a b)
+  else a * b
+
 let replicate (program : Isa.t) ~batches =
   if batches <= 0 then invalid_arg "Batch.replicate: batches <= 0";
+  let n_total = Isa.num_instrs program in
+  ignore (checked_mul n_total batches "instruction count");
+  ignore (checked_mul program.Isa.num_tags batches "rendezvous tags");
   let cores =
     Array.map
       (fun (instrs : Isa.instr array) ->
@@ -44,18 +62,31 @@ let replicate (program : Isa.t) ~batches =
             }))
       program.Isa.cores
   in
+  (* The allocation trace and the local-memory peaks describe ONE
+     instance's schedule; the replicated instruction stream interleaves
+     [batches] instances, so carrying them over verbatim would make
+     [Verify]'s memory replay and the lifetime planner disagree with the
+     program they sit next to.  Strip the trace and zero the per-stream
+     peaks — a batched program's memory story is explicitly "not
+     tracked"; only the global traffic totals scale meaningfully. *)
+  let zeros = Array.make program.Isa.core_count 0 in
   {
     program with
     Isa.cores;
     num_tags = program.Isa.num_tags * batches;
     memory =
       {
-        program.Isa.memory with
-        Isa.global_load_bytes =
-          program.Isa.memory.Isa.global_load_bytes * batches;
+        Isa.local_peak_bytes = zeros;
+        local_resident_peak_bytes = Array.copy zeros;
+        spill_bytes = 0;
+        global_load_bytes =
+          checked_mul program.Isa.memory.Isa.global_load_bytes batches
+            "global load bytes";
         global_store_bytes =
-          program.Isa.memory.Isa.global_store_bytes * batches;
+          checked_mul program.Isa.memory.Isa.global_store_bytes batches
+            "global store bytes";
       };
+    mem_trace = [||];
   }
 
 type result = {
@@ -67,9 +98,7 @@ type result = {
   metrics : Metrics.t;        (* of the batched run *)
 }
 
-let run ?parallelism hw (program : Isa.t) ~batches =
-  let single = Engine.run ?parallelism hw program in
-  let batched = Engine.run ?parallelism hw (replicate program ~batches) in
+let result_of ~batches ~(single : Metrics.t) (batched : Metrics.t) =
   let total = batched.Metrics.makespan_ns in
   let single_ns = single.Metrics.makespan_ns in
   let steady =
@@ -86,6 +115,30 @@ let run ?parallelism hw (program : Isa.t) ~batches =
       (if total > 0.0 then float_of_int batches *. 1e9 /. total else 0.0);
     metrics = batched;
   }
+
+let run ?parallelism hw (program : Isa.t) ~batches =
+  let single = Engine.run ?parallelism hw program in
+  let batched = Engine.run ?parallelism hw (replicate program ~batches) in
+  (* the materialised engine sees one (big) program, so it reports one
+     simulated instance; stamp the real coverage so materialised and
+     streaming results carry the same provenance *)
+  result_of ~batches ~single
+    { batched with Metrics.simulated_instances = batches }
+
+(* Enough in-flight instances to keep every pipeline stage busy (one
+   instance per stage) plus slack for scheduling jitter: the streaming
+   window ISSUE contract of "pipeline_depth + slack resident at once". *)
+let default_window (program : Isa.t) = program.Isa.pipeline_depth + 4
+
+let run_stream ?parallelism ?window ?detect ?confirm hw (program : Isa.t)
+    ~batches =
+  let window =
+    match window with Some w -> w | None -> default_window program
+  in
+  let arena = Engine.arena ?parallelism hw program in
+  let single = Engine.exec arena in
+  let batched, stats = Engine.stream ~window ?detect ?confirm arena ~batches in
+  (result_of ~batches ~single batched, stats)
 
 let pp ppf r =
   Fmt.pf ppf

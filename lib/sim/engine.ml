@@ -346,6 +346,71 @@ let reset a =
   a.load_bytes <- 0;
   a.store_bytes <- 0
 
+(* Shared result epilogue: the same expression shapes for every float,
+   whether the inputs came from a full event-by-event run ([exec]), a
+   streaming run, or the period detector's analytic closure — so any two
+   paths fed bitwise-equal inputs produce bitwise-equal metrics. *)
+let make_metrics a ~core_first ~core_last ~e_mvm ~e_vec ~e_local ~e_global
+    ~e_noc ~executed ~instrs_total ~mvm_windows ~messages ~flit_hops
+    ~load_bytes ~store_bytes ~local_peak_bytes ~local_resident_peak_bytes
+    ~simulated_instances ~extrapolated_instances =
+  let makespan = Array.fold_left Float.max 0.0 core_last in
+  let em = a.energy in
+  let core_busy =
+    Array.mapi
+      (fun i last ->
+        if core_first.(i) = Float.infinity then 0.0 else last -. core_first.(i))
+      core_last
+  in
+  let core_static =
+    Array.fold_left
+      (fun acc busy -> acc +. (busy *. em.Pimhw.Energy_model.core_static_mw))
+      0.0 core_busy
+  in
+  let router_static =
+    Array.fold_left
+      (fun acc busy -> acc +. (busy *. em.Pimhw.Energy_model.router_static_mw))
+      0.0 core_busy
+  in
+  {
+    Metrics.graph_name = a.program.Isa.graph_name;
+    mode = a.program.Isa.mode;
+    makespan_ns = makespan;
+    throughput_ips = (if makespan > 0.0 then 1e9 /. makespan else 0.0);
+    (* in HT mode an inference crosses [pipeline_depth] stages, each
+       lasting one steady-state interval; in LL the stream IS one
+       inference *)
+    latency_ns =
+      makespan *. float_of_int (max 1 a.program.Isa.pipeline_depth);
+    energy =
+      {
+        Metrics.mvm_pj = e_mvm;
+        vec_pj = e_vec;
+        local_mem_pj = e_local;
+        global_mem_pj = e_global;
+        noc_pj = e_noc;
+        core_static_pj = core_static;
+        router_static_pj = router_static;
+        global_static_pj =
+          makespan *. em.Pimhw.Energy_model.global_memory_static_mw;
+        hyper_transport_static_pj =
+          makespan *. em.Pimhw.Energy_model.hyper_transport_static_mw;
+      };
+    instrs_executed = executed;
+    instrs_total;
+    mvm_windows;
+    messages;
+    flit_hops;
+    global_load_bytes = load_bytes;
+    global_store_bytes = store_bytes;
+    core_busy_ns = core_busy;
+    local_peak_bytes;
+    local_resident_peak_bytes;
+    deadlocked = executed < instrs_total;
+    simulated_instances;
+    extrapolated_instances;
+  }
+
 let exec ?on_schedule a =
   reset a;
   (* All indices below are validated at arena-build time (dep ranges, AG
@@ -534,63 +599,688 @@ let exec ?on_schedule a =
       done
     end
   done;
-  let total = Isa.num_instrs a.program in
-  let makespan = Array.fold_left Float.max 0.0 a.core_last in
-  let em = a.energy in
-  let core_busy =
-    Array.mapi
-      (fun i last ->
-        if a.core_first.(i) = Float.infinity then 0.0
-        else last -. a.core_first.(i))
-      a.core_last
-  in
-  let core_static =
-    Array.fold_left
-      (fun acc busy -> acc +. (busy *. em.Pimhw.Energy_model.core_static_mw))
-      0.0 core_busy
-  in
-  let router_static =
-    Array.fold_left
-      (fun acc busy -> acc +. (busy *. em.Pimhw.Energy_model.router_static_mw))
-      0.0 core_busy
-  in
-  {
-    Metrics.graph_name = a.program.Isa.graph_name;
-    mode = a.program.Isa.mode;
-    makespan_ns = makespan;
-    throughput_ips = (if makespan > 0.0 then 1e9 /. makespan else 0.0);
-    (* in HT mode an inference crosses [pipeline_depth] stages, each
-       lasting one steady-state interval; in LL the stream IS one
-       inference *)
-    latency_ns =
-      makespan *. float_of_int (max 1 a.program.Isa.pipeline_depth);
-    energy =
-      {
-        Metrics.mvm_pj = a.e_mvm;
-        vec_pj = a.e_vec;
-        local_mem_pj = a.e_local;
-        global_mem_pj = a.e_global;
-        noc_pj = a.e_noc;
-        core_static_pj = core_static;
-        router_static_pj = router_static;
-        global_static_pj =
-          makespan *. em.Pimhw.Energy_model.global_memory_static_mw;
-        hyper_transport_static_pj =
-          makespan *. em.Pimhw.Energy_model.hyper_transport_static_mw;
-      };
-    instrs_executed = a.executed;
-    instrs_total = total;
-    mvm_windows = a.mvm_windows;
-    messages = a.messages;
-    flit_hops = a.flit_hops;
-    global_load_bytes = a.load_bytes;
-    global_store_bytes = a.store_bytes;
-    core_busy_ns = core_busy;
-    local_peak_bytes = a.program.Isa.memory.Isa.local_peak_bytes;
-    local_resident_peak_bytes =
-      a.program.Isa.memory.Isa.local_resident_peak_bytes;
-    deadlocked = a.executed < total;
-  }
+  make_metrics a ~core_first:a.core_first ~core_last:a.core_last
+    ~e_mvm:a.e_mvm ~e_vec:a.e_vec ~e_local:a.e_local ~e_global:a.e_global
+    ~e_noc:a.e_noc ~executed:a.executed
+    ~instrs_total:(Isa.num_instrs a.program) ~mvm_windows:a.mvm_windows
+    ~messages:a.messages ~flit_hops:a.flit_hops ~load_bytes:a.load_bytes
+    ~store_bytes:a.store_bytes
+    ~local_peak_bytes:a.program.Isa.memory.Isa.local_peak_bytes
+    ~local_resident_peak_bytes:
+      a.program.Isa.memory.Isa.local_resident_peak_bytes
+    ~simulated_instances:1 ~extrapolated_instances:0
 
 let run ?parallelism ?on_schedule (hw : Pimhw.Config.t) (program : Isa.t) =
   exec ?on_schedule (arena ?parallelism hw program)
+
+(* --- Streaming batched execution -------------------------------------------
+
+   Simulates [batches] back-to-back inference instances of the arena's
+   program WITHOUT materialising the replicated program: instances flow
+   through a small pool of window slots (per-slot missing counters,
+   ready times, tag tables, partial accumulators) that are recycled as
+   instances retire, so memory is O(in-flight instances x n) regardless
+   of [batches].
+
+   Bit-identity with [exec (arena hw (Batch.replicate program ~batches))]
+   rests on three mappings:
+
+   - Event order.  The materialised global id of instruction [idx] of
+     instance [k] on core [c] is
+       vid = batches*base(c) + k*n_c + idx
+     (core-major, instance-major within a core).  The stream pushes its
+     completion events under exactly this code, so the packed heap —
+     which breaks time ties on the code — pops in exactly the
+     materialised order.  Release events use the same unit codes.  The
+     slot that owns the event rides along as a payload the ordering
+     never looks at (Heap.Packed_payload).
+
+   - Ready times.  The materialised engine recomputes max-over-dep
+     finishes at schedule time; the stream folds each dep's finish into
+     the dependent's per-slot ready cell at the dep's completion pop.
+     The popped event time is bitwise the pushed finish, and a running
+     max equals a batch max, so the values agree bitwise.
+
+   - Wake order.  At a completion of (k, idx), the materialised dept row
+     is walked in descending id: the pipeline dependent (k+1, idx) has
+     the highest id (it exceeds every same-instance dependent by
+     n_c + idx - idx' >= 1), then the same-instance dependents in the
+     base program's already-descending row order.  The stream wakes in
+     that exact order, after the same parked-RECV check.
+
+   Instance admission is lazy and invisible: instance k+1's slot is
+   allocated at the first completion event of instance k (before any
+   wake can target it), and admission itself schedules nothing — in the
+   materialised program instance k+1's instructions all hold an
+   unsatisfied pipeline dependency at that moment too.
+
+   The period detector watches retirements (instance completes all n
+   instructions): when the marginal retirement interval, per-core
+   finish-frontier deltas, per-instance charge totals (bitwise), the
+   in-flight progress census, per-resource states/queues and per-core
+   issue-port deltas all repeat for [confirm] consecutive in-order
+   retirements, the remaining instances are closed analytically:
+   per-core frontiers and dynamic energies extended linearly, integer
+   counters as batches x static per-instance totals.  The closure is
+   exact (bitwise equal to simulating to the end) whenever the float
+   arithmetic involved is exact — see DESIGN.md §3.9. *)
+
+type stream_stats = {
+  batches : int;
+  simulated_instances : int;
+  extrapolated_instances : int;
+  fired_at : int option;        (* retired-instance index at detector fire *)
+  steady_interval_ns : float option;
+  peak_slots : int;             (* window slots ever allocated *)
+  state_words : int;            (* heap words reachable from slot state *)
+}
+
+let stream ?(window = 0) ?(detect = true) ?confirm a ~batches =
+  if batches <= 0 then invalid_arg "Engine.stream: batches <= 0";
+  if window < 0 then invalid_arg "Engine.stream: window < 0";
+  (* Longer than any dt-plateau a window-period limit cycle can emit:
+     such cycles repeat every [window] retirements, so equal-gap runs
+     inside them are shorter than the window. *)
+  let confirm =
+    match confirm with Some c -> c | None -> max 8 (window + 4)
+  in
+  let n = a.n in
+  let num_resources = a.num_resources in
+  if n > 0 && batches > (max_int - num_resources) / n then
+    invalid_arg
+      (Fmt.str
+         "Engine.stream: %d instances x %d instructions overflows the id \
+          space"
+         batches n);
+  let total = batches * n in
+  reset a;
+  if n = 0 then
+    ( make_metrics a ~core_first:a.core_first ~core_last:a.core_last
+        ~e_mvm:0.0 ~e_vec:0.0 ~e_local:0.0 ~e_global:0.0 ~e_noc:0.0
+        ~executed:0 ~instrs_total:0 ~mvm_windows:0 ~messages:0 ~flit_hops:0
+        ~load_bytes:0 ~store_bytes:0
+        ~local_peak_bytes:(Array.make a.core_count 0)
+        ~local_resident_peak_bytes:(Array.make a.core_count 0)
+        ~simulated_instances:batches ~extrapolated_instances:0,
+      { batches; simulated_instances = batches; extrapolated_instances = 0;
+        fired_at = None; steady_interval_ns = None; peak_slots = 0;
+        state_words = 0 } )
+  else begin
+  let cc = a.core_count in
+  let nt = Array.length a.arrival in
+  let dept_off = a.dept_off and dept_arr = a.dept_arr in
+  let kind = a.kind and res_of = a.res_of and tag_of = a.tag_of in
+  let dur = a.dur and issue_delta = a.issue_delta in
+  let dep_count = a.dep_count in
+  let qhead = a.qhead and qtail = a.qtail in
+  let res_state = a.res_state and free_at = a.free_at in
+  (* virtual (materialised) id of (instance k, base id g):
+     vid = vbase.(g) + k * vstep.(g) *)
+  let vbase = Array.make n 0 and vstep = Array.make n 0 in
+  let ncore = Array.make cc 0 in
+  for g = 0 to n - 1 do
+    ncore.(a.core_of.(g)) <- ncore.(a.core_of.(g)) + 1
+  done;
+  let cbase = Array.make (cc + 1) 0 in
+  for c = 0 to cc - 1 do
+    cbase.(c + 1) <- cbase.(c) + ncore.(c)
+  done;
+  for g = 0 to n - 1 do
+    let c = a.core_of.(g) in
+    vbase.(g) <- (batches * cbase.(c)) + a.idx_of.(g);
+    vstep.(g) <- ncore.(c)
+  done;
+  (* static per-instance counter totals (for analytic closure) *)
+  let windows_total = ref 0 and sends_total = ref 0 in
+  let flithops_total = ref 0 in
+  let loadb_total = ref 0 and storeb_total = ref 0 in
+  for g = 0 to n - 1 do
+    windows_total := !windows_total + a.windows_d.(g);
+    flithops_total := !flithops_total + a.flithops_d.(g);
+    if kind.(g) = k_send then incr sends_total
+    else if kind.(g) = k_load then loadb_total := !loadb_total + a.bytes_d.(g)
+    else if kind.(g) = k_store then
+      storeb_total := !storeb_total + a.bytes_d.(g)
+  done;
+  (* --- window-slot state (growable pool) --- *)
+  let cap = ref (max 1 window) in
+  let s_missing = ref (Array.make (!cap * n) 0) in
+  let s_ready = ref (Array.make (!cap * n) 0.0) in
+  let s_qnext = ref (Array.make (!cap * n) (-1)) in
+  let s_arrival = ref (Array.make (!cap * nt) Float.nan) in
+  let s_parked = ref (Array.make (!cap * nt) (-1)) in
+  let s_instance = ref (Array.make !cap (-1)) in
+  let s_completed = ref (Array.make !cap 0) in
+  let s_core_last = ref (Array.make (!cap * cc) 0.0) in
+  let p_mvm = ref (Array.make !cap 0.0) in
+  let p_vec = ref (Array.make !cap 0.0) in
+  let p_local = ref (Array.make !cap 0.0) in
+  let p_global = ref (Array.make !cap 0.0) in
+  let p_noc = ref (Array.make !cap 0.0) in
+  let free_slots = ref [] in
+  for s = !cap - 1 downto 0 do
+    free_slots := s :: !free_slots
+  done;
+  let grow_pool () =
+    let oc = !cap in
+    let nc = 2 * oc in
+    let gi mk old width =
+      let fresh = mk (nc * width) in
+      Array.blit old 0 fresh 0 (oc * width);
+      fresh
+    in
+    s_missing := gi (fun l -> Array.make l 0) !s_missing n;
+    s_ready := gi (fun l -> Array.make l 0.0) !s_ready n;
+    s_qnext := gi (fun l -> Array.make l (-1)) !s_qnext n;
+    s_arrival := gi (fun l -> Array.make l Float.nan) !s_arrival nt;
+    s_parked := gi (fun l -> Array.make l (-1)) !s_parked nt;
+    s_instance := gi (fun l -> Array.make l (-1)) !s_instance 1;
+    s_completed := gi (fun l -> Array.make l 0) !s_completed 1;
+    s_core_last := gi (fun l -> Array.make l 0.0) !s_core_last cc;
+    p_mvm := gi (fun l -> Array.make l 0.0) !p_mvm 1;
+    p_vec := gi (fun l -> Array.make l 0.0) !p_vec 1;
+    p_local := gi (fun l -> Array.make l 0.0) !p_local 1;
+    p_global := gi (fun l -> Array.make l 0.0) !p_global 1;
+    p_noc := gi (fun l -> Array.make l 0.0) !p_noc 1;
+    for s = nc - 1 downto oc do
+      free_slots := s :: !free_slots
+    done;
+    cap := nc
+  in
+  (* live instance -> slot: open-addressed ring keyed by k mod size.
+     In-flight instances are a short contiguous-ish run, so collisions
+     mean the ring is too small for the current window — double it. *)
+  let isize = ref 64 in
+  let imap = ref (Array.make !isize (-1)) in
+  let ikey = ref (Array.make !isize (-1)) in
+  let imap_insert k slot =
+    let rec go () =
+      let i = k land (!isize - 1) in
+      if !imap.(i) >= 0 && !ikey.(i) <> k then begin
+        (* collision with a different live instance: double and rehash *)
+        let ns = 2 * !isize in
+        let nm = Array.make ns (-1) and nk = Array.make ns (-1) in
+        for s = 0 to !cap - 1 do
+          let inst = !s_instance.(s) in
+          if inst >= 0 then begin
+            let j = inst land (ns - 1) in
+            nm.(j) <- s;
+            nk.(j) <- inst
+          end
+        done;
+        isize := ns;
+        imap := nm;
+        ikey := nk;
+        go ()
+      end
+      else begin
+        !imap.(i) <- slot;
+        !ikey.(i) <- k
+      end
+    in
+    go ()
+  in
+  let imap_find k =
+    let i = k land (!isize - 1) in
+    if !ikey.(i) = k then !imap.(i) else -1
+  in
+  let imap_remove k =
+    let i = k land (!isize - 1) in
+    if !ikey.(i) = k then begin
+      !imap.(i) <- -1;
+      !ikey.(i) <- -1
+    end
+  in
+  let admitted = ref (-1) in
+  (* Bounded-window admission (window > 0): instance k is admitted only
+     once instance k - window has fully retired, so at most [window]
+     instances are ever in flight.  An instance admitted that late has
+     usually outlived some of its pipeline-dependency completions, so
+     the latest completed (instance, finish) per base instruction is
+     buffered here and folded in at admission. *)
+  let pl_inst = Array.make n (-1) in
+  let pl_finish = Array.make n 0.0 in
+  (* contiguous retired prefix — retirement order can locally invert on
+     equal-time ties, so track flags in a small reusable ring *)
+  let rsize = ref 64 in
+  let rflag = ref (Bytes.make !rsize '\000') in
+  let rprefix = ref 0 in
+  let mark_retired k =
+    if k - !rprefix >= !rsize then begin
+      let ns = ref (2 * !rsize) in
+      while k - !rprefix >= !ns do
+        ns := 2 * !ns
+      done;
+      let nb = Bytes.make !ns '\000' in
+      for j = !rprefix to !rprefix + !rsize - 1 do
+        if Bytes.get !rflag (j mod !rsize) = '\001' then
+          Bytes.set nb (j mod !ns) '\001'
+      done;
+      rsize := !ns;
+      rflag := nb
+    end;
+    Bytes.set !rflag (k mod !rsize) '\001';
+    while
+      !rprefix < batches && Bytes.get !rflag (!rprefix mod !rsize) = '\001'
+    do
+      Bytes.set !rflag (!rprefix mod !rsize) '\000';
+      incr rprefix
+    done
+  in
+  let admit k =
+    let slot =
+      match !free_slots with
+      | s :: rest ->
+          free_slots := rest;
+          s
+      | [] ->
+          grow_pool ();
+          (match !free_slots with
+          | s :: rest ->
+              free_slots := rest;
+              s
+          | [] -> assert false)
+    in
+    let sm = !s_missing and sr = !s_ready in
+    let off = slot * n in
+    let extra = if k = 0 then 0 else 1 in
+    for j = 0 to n - 1 do
+      sm.(off + j) <- dep_count.(j) + extra;
+      sr.(off + j) <- 0.0
+    done;
+    Array.fill !s_arrival (slot * nt) nt Float.nan;
+    Array.fill !s_parked (slot * nt) nt (-1);
+    Array.fill !s_core_last (slot * cc) cc 0.0;
+    !s_completed.(slot) <- 0;
+    !s_instance.(slot) <- k;
+    !p_mvm.(slot) <- 0.0;
+    !p_vec.(slot) <- 0.0;
+    !p_local.(slot) <- 0.0;
+    !p_global.(slot) <- 0.0;
+    !p_noc.(slot) <- 0.0;
+    imap_insert k slot;
+    admitted := k;
+    slot
+  in
+  let heap = Heap.Packed_payload.create () in
+  (* Execute (slot, g) now owning its unit; returns the unit-release
+     time.  Mirrors [exec]'s do_schedule expression for expression. *)
+  let do_schedule slot g ~now =
+    let core = Array.unsafe_get a.core_of g in
+    let ready = Float.max now (Array.unsafe_get !s_ready ((slot * n) + g)) in
+    let start = ref ready and finish = ref ready and release = ref Float.nan in
+    let k = Array.unsafe_get kind g in
+    if k = k_mvm then begin
+      let s = Float.max ready (Array.unsafe_get a.issue_next core) in
+      Array.unsafe_set a.issue_next core (s +. Array.unsafe_get issue_delta g);
+      let f = s +. Array.unsafe_get dur g in
+      a.e_mvm <- a.e_mvm +. Array.unsafe_get a.pe_mvm g;
+      a.e_local <- a.e_local +. Array.unsafe_get a.pe_local g;
+      a.mvm_windows <- a.mvm_windows + Array.unsafe_get a.windows_d g;
+      !p_mvm.(slot) <- !p_mvm.(slot) +. Array.unsafe_get a.pe_mvm g;
+      !p_local.(slot) <- !p_local.(slot) +. Array.unsafe_get a.pe_local g;
+      start := s;
+      finish := f;
+      release := f
+    end
+    else if k = k_vec then begin
+      let f = ready +. Array.unsafe_get dur g in
+      a.e_vec <- a.e_vec +. Array.unsafe_get a.pe_vec g;
+      a.e_local <- a.e_local +. Array.unsafe_get a.pe_local g;
+      !p_vec.(slot) <- !p_vec.(slot) +. Array.unsafe_get a.pe_vec g;
+      !p_local.(slot) <- !p_local.(slot) +. Array.unsafe_get a.pe_local g;
+      finish := f;
+      release := f
+    end
+    else if k = k_load || k = k_store then begin
+      release := ready +. Array.unsafe_get dur g;
+      finish := ready +. a.t_dram +. Array.unsafe_get dur g;
+      if k = k_load then
+        a.load_bytes <- a.load_bytes + Array.unsafe_get a.bytes_d g
+      else a.store_bytes <- a.store_bytes + Array.unsafe_get a.bytes_d g;
+      a.e_global <- a.e_global +. Array.unsafe_get a.pe_global g;
+      a.e_local <- a.e_local +. Array.unsafe_get a.pe_local g;
+      a.flit_hops <- a.flit_hops + Array.unsafe_get a.flithops_d g;
+      a.e_noc <- a.e_noc +. Array.unsafe_get a.pe_noc g;
+      !p_global.(slot) <- !p_global.(slot) +. Array.unsafe_get a.pe_global g;
+      !p_local.(slot) <- !p_local.(slot) +. Array.unsafe_get a.pe_local g;
+      !p_noc.(slot) <- !p_noc.(slot) +. Array.unsafe_get a.pe_noc g
+    end
+    else if k = k_send then begin
+      let tag = Array.unsafe_get tag_of g in
+      let st = (slot * nt) + tag in
+      if not (Float.is_nan (Array.unsafe_get !s_arrival st)) then
+        invalid_arg
+          (Fmt.str "Engine: duplicate SEND on tag %d (silent overwrite \
+                    would drop a rendezvous)" tag);
+      Array.unsafe_set !s_arrival st (ready +. Array.unsafe_get dur g);
+      a.messages <- a.messages + 1;
+      a.flit_hops <- a.flit_hops + Array.unsafe_get a.flithops_d g;
+      a.e_noc <- a.e_noc +. Array.unsafe_get a.pe_noc g;
+      !p_noc.(slot) <- !p_noc.(slot) +. Array.unsafe_get a.pe_noc g
+    end
+    else begin
+      (* k_recv *)
+      let arr =
+        Array.unsafe_get !s_arrival ((slot * nt) + Array.unsafe_get tag_of g)
+      in
+      if Float.is_nan arr then
+        invalid_arg "Engine: recv scheduled before arrival";
+      let s = Float.max ready arr in
+      start := s;
+      finish := s
+    end;
+    let start = !start and finish = !finish in
+    if start < Array.unsafe_get a.core_first core then
+      Array.unsafe_set a.core_first core start;
+    if finish > Array.unsafe_get a.core_last core then
+      Array.unsafe_set a.core_last core finish;
+    let scl = (slot * cc) + core in
+    if finish > Array.unsafe_get !s_core_last scl then
+      Array.unsafe_set !s_core_last scl finish;
+    let inst = Array.unsafe_get !s_instance slot in
+    let vid = Array.unsafe_get vbase g + (inst * Array.unsafe_get vstep g) in
+    Heap.Packed_payload.push heap finish (num_resources + vid)
+      ((slot * n) + g);
+    !release
+  in
+  let grant r slot g ~now =
+    let release = do_schedule slot g ~now in
+    if Array.unsafe_get qhead r < 0 then begin
+      Array.unsafe_set res_state r 2;
+      Array.unsafe_set free_at r release
+    end
+    else begin
+      Array.unsafe_set res_state r 1;
+      Heap.Packed_payload.push heap release r (-1)
+    end
+  in
+  let acquire slot g ~tnow =
+    let r = Array.unsafe_get res_of g in
+    if r < 0 then ignore (do_schedule slot g ~now:0.0)
+    else begin
+      let s = Array.unsafe_get res_state r in
+      if s = 0 || (s = 2 && Array.unsafe_get free_at r <= tnow) then
+        grant r slot g ~now:0.0
+      else begin
+        if s = 2 then begin
+          Array.unsafe_set res_state r 1;
+          Heap.Packed_payload.push heap (Array.unsafe_get free_at r) r (-1)
+        end;
+        let p = (slot * n) + g in
+        Array.unsafe_set !s_qnext p (-1);
+        let t = Array.unsafe_get qtail r in
+        if t < 0 then Array.unsafe_set qhead r p
+        else Array.unsafe_set !s_qnext t p;
+        Array.unsafe_set qtail r p
+      end
+    end
+  in
+  let release_resource r ~now =
+    let p = Array.unsafe_get qhead r in
+    if p < 0 then Array.unsafe_set res_state r 0
+    else begin
+      let nx = Array.unsafe_get !s_qnext p in
+      Array.unsafe_set qhead r nx;
+      if nx < 0 then Array.unsafe_set qtail r (-1);
+      grant r (p / n) (p mod n) ~now
+    end
+  in
+  let try_schedule slot g ~tnow =
+    if
+      Array.unsafe_get kind g = k_recv
+      && Float.is_nan
+           (Array.unsafe_get !s_arrival
+              ((slot * nt) + Array.unsafe_get tag_of g))
+    then
+      Array.unsafe_set !s_parked ((slot * nt) + Array.unsafe_get tag_of g)
+        ((slot * n) + g)
+    else acquire slot g ~tnow
+  in
+  (* Throttled admission of instance k at time [tnow] (the retirement of
+     instance k - window).  An instance cannot start before it exists,
+     so every ready time is floored at [tnow]; pipeline-dependency
+     completions that already happened are folded in from the buffer,
+     and instructions with no outstanding dependencies are scheduled
+     immediately in (core, index) order. *)
+  let admit_deferred k ~tnow =
+    let slot = admit k in
+    let off = slot * n in
+    let sm = !s_missing and sr = !s_ready in
+    for g = 0 to n - 1 do
+      sr.(off + g) <- tnow;
+      if pl_inst.(g) = k - 1 then begin
+        sm.(off + g) <- sm.(off + g) - 1;
+        if pl_finish.(g) > sr.(off + g) then sr.(off + g) <- pl_finish.(g)
+      end;
+      if sm.(off + g) = 0 then try_schedule slot g ~tnow
+    done
+  in
+  (* --- period-detector state --- *)
+  let retired = ref 0 in
+  let det_prev_inst = ref (-1) in
+  let det_prev_t = ref 0.0 in
+  let det_have = ref false in      (* previous retirement interval recorded *)
+  let streak = ref 0 in
+  let prev_dt = ref 0.0 in
+  let prev_nfl = ref (-1) in (* previous in-flight population *)
+  let fired = ref false in
+  let fire_at = ref (-1) in
+  let fire_interval = ref 0.0 in
+  let fire_skip = ref 0 in   (* instances never admitted: closed analytically *)
+  let target = ref batches in    (* instances to actually retire in-event *)
+  let fire_s = Array.make 5 0.0 in
+  let on_retire slot k tnow =
+    incr retired;
+    if detect && window > 0 && not !fired then begin
+      (* Signature: the per-instance retirement interval [dt] repeats
+         bitwise AND the in-flight population has the same size.  With a
+         bounded window the machine cycles through a finite configuration
+         set, so an exactly repeating retirement cadence is the observable
+         fixed point; micro-state (per-core frontiers, queue contents,
+         heap shape) may wobble within the cycle without disturbing it.
+         [confirm] consecutive repeats are required before firing so that
+         short accidental plateaus (bursty limit cycles emit runs of equal
+         gaps) do not pass.  Detection needs a bounded window: unbounded,
+         fast front-end cores drift ever further ahead and no steady
+         per-retirement shift exists to extrapolate. *)
+      if k = !det_prev_inst + 1 && !det_prev_inst >= 0 then begin
+        let dt = tnow -. !det_prev_t in
+        let nfl = !admitted - k in
+        if !det_have && dt = !prev_dt && nfl = !prev_nfl then incr streak
+        else streak := 0;
+        prev_dt := dt;
+        prev_nfl := nfl;
+        det_have := true;
+        if !streak >= confirm && batches - 1 - !admitted > 0 then begin
+          (* Fast-forward: stop admitting, so the [skip] never-admitted
+             instances are closed analytically — the in-flight window
+             drains by event simulation, and by steady-state shift
+             invariance that drain is the true end-of-stream drain
+             displaced skip x dt earlier (the drain tail is NOT
+             bottleneck-paced: final instances retire faster once no
+             successors contend, so a pure m x dt extrapolation of the
+             makespan would overshoot). *)
+          fired := true;
+          fire_at := k;
+          fire_interval := dt;
+          fire_skip := batches - 1 - !admitted;
+          target := batches - !fire_skip;
+          (* steady per-instance dynamic-energy quantum: instruction mix
+             is identical across instances, so the retiree's partials
+             stand in for every skipped instance *)
+          fire_s.(0) <- !p_mvm.(slot);
+          fire_s.(1) <- !p_vec.(slot);
+          fire_s.(2) <- !p_local.(slot);
+          fire_s.(3) <- !p_global.(slot);
+          fire_s.(4) <- !p_noc.(slot)
+        end
+      end
+      else begin
+        (* out-of-order retirement (equal-time tie): restart the streak *)
+        det_have := false;
+        streak := 0
+      end;
+      det_prev_t := tnow;
+      det_prev_inst := k
+    end;
+    imap_remove k;
+    !s_instance.(slot) <- -1;
+    free_slots := slot :: !free_slots;
+    if window > 0 && not !fired then begin
+      mark_retired k;
+      (* the lazy rule below covers instances 0..window-1; instance k'
+         >= window waits for the retired prefix to reach k' - window *)
+      while
+        !admitted + 1 < batches
+        && !admitted + 1 >= window
+        && !rprefix >= !admitted + 2 - window
+      do
+        admit_deferred (!admitted + 1) ~tnow
+      done
+    end
+  in
+  (* seed instance 0: its zero-dep instructions, in (core, index) order —
+     the materialised seed order restricted to instance 0, which is the
+     whole materialised seed set (every later instance holds a pipeline
+     dependency). *)
+  let slot0 = admit 0 in
+  for g = 0 to n - 1 do
+    if Array.unsafe_get dep_count g = 0 then
+      try_schedule slot0 g ~tnow:Float.neg_infinity
+  done;
+  while !retired < !target && Heap.Packed_payload.pop heap do
+    let code = Heap.Packed_payload.last_code heap in
+    let tnow = Heap.Packed_payload.last_time heap in
+    if code < num_resources then release_resource code ~now:tnow
+    else begin
+      let p = Heap.Packed_payload.last_pay heap in
+      let slot = p / n and g = p mod n in
+      let inst = Array.unsafe_get !s_instance slot in
+      a.executed <- a.executed + 1;
+      (* lazy admission: the frontier instance's first completion admits
+         its successor, before any wake could target it (throttled mode
+         defers instances >= window to retirement-driven admission) *)
+      if
+        inst = !admitted
+        && inst + 1 < batches
+        && (window = 0 || inst + 1 < window)
+      then ignore (admit (inst + 1));
+      (* wake the matching parked RECV if this was a SEND *)
+      (if Array.unsafe_get kind g = k_send then begin
+         let st = (slot * nt) + Array.unsafe_get tag_of g in
+         let pk = Array.unsafe_get !s_parked st in
+         if pk >= 0 && Array.unsafe_get !s_missing pk = 0 then begin
+           Array.unsafe_set !s_parked st (-1);
+           acquire (pk / n) (pk mod n) ~tnow
+         end
+       end);
+      Array.unsafe_set pl_inst g inst;
+      Array.unsafe_set pl_finish g tnow;
+      (* pipeline dependent (inst+1, g) first: it holds the highest
+         materialised id among this instruction's dependents *)
+      (if inst + 1 < batches then begin
+         let ds = imap_find (inst + 1) in
+         (* Unbounded: the successor is always admitted and live here —
+            admission precedes any wake, and (inst+1, g) depends on this
+            very completion so it cannot have retired.  Throttled: it
+            may not be admitted yet; [pl_finish] carries this completion
+            to its deferred admission. *)
+         if window = 0 then assert (ds >= 0);
+         if ds >= 0 then begin
+           let dp = (ds * n) + g in
+           if tnow > Array.unsafe_get !s_ready dp then
+             Array.unsafe_set !s_ready dp tnow;
+           let m = Array.unsafe_get !s_missing dp - 1 in
+           Array.unsafe_set !s_missing dp m;
+           if m = 0 then try_schedule ds g ~tnow
+         end
+       end);
+      (* same-instance dependents, descending id order *)
+      for e =
+        Array.unsafe_get dept_off g
+        to Array.unsafe_get dept_off (g + 1) - 1
+      do
+        let d = Array.unsafe_get dept_arr e in
+        let dp = (slot * n) + d in
+        if tnow > Array.unsafe_get !s_ready dp then
+          Array.unsafe_set !s_ready dp tnow;
+        let m = Array.unsafe_get !s_missing dp - 1 in
+        Array.unsafe_set !s_missing dp m;
+        if m = 0 then try_schedule slot d ~tnow
+      done;
+      let c = Array.unsafe_get !s_completed slot + 1 in
+      Array.unsafe_set !s_completed slot c;
+      if c = n then on_retire slot inst tnow
+    end
+  done;
+  let zero_peaks = Array.make cc 0 in
+  let checked_mul x msg =
+    if x <> 0 && batches > max_int / x then
+      invalid_arg (Fmt.str "Engine.stream: %s x %d batches overflows" msg x)
+    else x * batches
+  in
+  let state_words =
+    Obj.reachable_words
+      (Obj.repr
+         ( !s_missing, !s_ready, !s_qnext, !s_arrival, !s_parked,
+           !s_instance, !s_completed, !s_core_last,
+           (!p_mvm, !p_vec, !p_local, !p_global, !p_noc),
+           !imap, !ikey, heap, (pl_inst, pl_finish, !rflag) ))
+  in
+  let metrics =
+    if !fired then begin
+      (* The simulated stream ran [batches - skip] instances; the true
+         stream's timing is that run with every touched core's busy
+         frontier displaced [skip] steady intervals later (the first
+         instance, and each core's first-busy time, are unchanged).
+         Integer counters come from the static per-instance totals, so
+         they are exact by construction; dynamic energies add one steady
+         per-instance quantum per skipped instance. *)
+      let skip = float_of_int !fire_skip in
+      let shift = skip *. !fire_interval in
+      let core_last =
+        Array.mapi
+          (fun c t ->
+            if a.core_first.(c) = Float.infinity then t else t +. shift)
+          a.core_last
+      in
+      make_metrics a ~core_first:a.core_first ~core_last
+        ~e_mvm:(a.e_mvm +. (skip *. fire_s.(0)))
+        ~e_vec:(a.e_vec +. (skip *. fire_s.(1)))
+        ~e_local:(a.e_local +. (skip *. fire_s.(2)))
+        ~e_global:(a.e_global +. (skip *. fire_s.(3)))
+        ~e_noc:(a.e_noc +. (skip *. fire_s.(4)))
+        ~executed:total ~instrs_total:total
+        ~mvm_windows:(checked_mul !windows_total "MVM windows")
+        ~messages:(checked_mul !sends_total "messages")
+        ~flit_hops:(checked_mul !flithops_total "flit-hops")
+        ~load_bytes:(checked_mul !loadb_total "load bytes")
+        ~store_bytes:(checked_mul !storeb_total "store bytes")
+        ~local_peak_bytes:zero_peaks ~local_resident_peak_bytes:zero_peaks
+        ~simulated_instances:(batches - !fire_skip)
+        ~extrapolated_instances:!fire_skip
+    end
+    else
+      make_metrics a ~core_first:a.core_first ~core_last:a.core_last
+        ~e_mvm:a.e_mvm ~e_vec:a.e_vec ~e_local:a.e_local ~e_global:a.e_global
+        ~e_noc:a.e_noc ~executed:a.executed ~instrs_total:total
+        ~mvm_windows:a.mvm_windows ~messages:a.messages
+        ~flit_hops:a.flit_hops ~load_bytes:a.load_bytes
+        ~store_bytes:a.store_bytes ~local_peak_bytes:zero_peaks
+        ~local_resident_peak_bytes:zero_peaks ~simulated_instances:batches
+        ~extrapolated_instances:0
+  in
+  let stats =
+    {
+      batches;
+      simulated_instances = (if !fired then batches - !fire_skip else batches);
+      extrapolated_instances = (if !fired then !fire_skip else 0);
+      fired_at = (if !fired then Some !fire_at else None);
+      steady_interval_ns = (if !fired then Some !fire_interval else None);
+      peak_slots = !cap;
+      state_words;
+    }
+  in
+  (metrics, stats)
+  end

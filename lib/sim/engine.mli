@@ -55,3 +55,72 @@ val run :
 (** [run ~parallelism hw program] = [exec (arena ~parallelism hw
     program)]: one-shot simulation at the given parallelism degree
     (default {!default_parallelism}). *)
+
+type stream_stats = {
+  batches : int;
+  simulated_instances : int;
+      (** instances retired by event-by-event simulation *)
+  extrapolated_instances : int;
+      (** instances closed analytically by the period detector *)
+  fired_at : int option;
+      (** retired-instance index at which the detector fired, if it did *)
+  steady_interval_ns : float option;
+      (** the detected exact per-instance retirement interval *)
+  peak_slots : int;  (** window slots ever allocated (peak in-flight) *)
+  state_words : int;
+      (** heap words reachable from the streaming slot state — the
+          O(window x n) part that replaces the O(batches x n)
+          materialised program + arena *)
+}
+
+val stream :
+  ?window:int ->
+  ?detect:bool ->
+  ?confirm:int ->
+  t ->
+  batches:int ->
+  Metrics.t * stream_stats
+(** [stream a ~batches] simulates [batches] back-to-back pipelined
+    instances of the arena's program in O(in-flight x n) memory,
+    recycling window slots as instances retire.
+
+    [window = 0] (the default) places no bound on the number of
+    in-flight instances: the schedule is then exactly the materialised
+    one, and with [detect:false] the metrics are bit-identical to
+    [exec (arena hw (Batch.replicate (program a) ~batches))].  Fast
+    front-end cores may race arbitrarily far ahead of the bottleneck in
+    that schedule, so the slot pool grows with the natural instance
+    spread (up to [batches] in the worst case).
+
+    [window = w > 0] is bounded-buffer pipelining: instance [k] is
+    admitted only once instance [k - w] has fully retired, so at most
+    [w] instances (hence O(w x n) state) are ever live.  This is a
+    deliberately different — and physically honest — schedule; it
+    coincides with the unbounded one whenever [w >= batches] or [w]
+    exceeds the natural spread, and leaves steady-state throughput
+    unchanged once [w] covers the program's pipeline depth plus slack.
+
+    With detection on (the default) and a bounded window, the
+    steady-state period detector watches the per-instance retirement
+    cadence: once the retirement interval repeats bitwise for [confirm]
+    consecutive retirements (default [max 8 (window + 4)], longer than
+    any equal-gap plateau a window-period limit cycle can emit) with a
+    stable in-flight population, admission stops and the
+    never-admitted instances are closed analytically — the in-flight
+    window still drains by event simulation, and by steady-state shift
+    invariance that drain is the true end-of-stream drain displaced
+    [skip x interval] earlier.  Exactness of the closure
+    (DESIGN.md §3.9): integer counters are exact by construction;
+    makespan, throughput, latency and the steady interval are exact
+    whenever the cadence really is periodic (bitwise so on every zoo
+    network measured); dynamic energies agree up to float-association
+    order (~1e-12 relative); per-core busy windows — and the core- and
+    router-static energies derived from them — are overestimated by at
+    most about one window of steady intervals per core, a constant
+    absolute error whose relative weight vanishes as [batches] grows.
+    Unbounded ([window = 0]) streams never fire: fast cores drift
+    arbitrarily far ahead, so no per-retirement shift exists to close
+    with.
+
+    Raises [Invalid_argument] when [batches <= 0], [window < 0], or
+    [batches x instructions] would overflow the id space. *)

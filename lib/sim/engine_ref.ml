@@ -381,4 +381,6 @@ let run ?parallelism ?on_schedule (hw : Pimhw.Config.t) (program : Isa.t) =
     local_resident_peak_bytes =
       program.Isa.memory.Isa.local_resident_peak_bytes;
     deadlocked = st.executed < total;
+    simulated_instances = 1;
+    extrapolated_instances = 0;
   }

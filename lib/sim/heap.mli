@@ -25,3 +25,23 @@ module Packed : sig
   val last_time : t -> float
   val last_code : t -> int
 end
+
+(** [Packed] plus an opaque payload int carried alongside each event.
+    Ordering is still on (time, code) alone, so the pop sequence is
+    identical to a [Packed] heap fed the same keys; the payload rides
+    along and is read back with [last_pay].  Used by the streaming
+    batch engine to decode a virtual completion code into its (window
+    slot, instruction) pair without division. *)
+module Packed_payload : sig
+  type t
+
+  val create : unit -> t
+  val clear : t -> unit
+  val is_empty : t -> bool
+  val length : t -> int
+  val push : t -> float -> int -> int -> unit
+  val pop : t -> bool
+  val last_time : t -> float
+  val last_code : t -> int
+  val last_pay : t -> int
+end

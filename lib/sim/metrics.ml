@@ -56,6 +56,13 @@ type t = {
       (* per-core bytes actually held on chip at the worst moment;
          <= the scratchpad capacity even when the demand peak is not *)
   deadlocked : bool;
+  (* provenance: how many inference instances these numbers cover, and
+     how many of those were closed analytically by the streaming batch
+     engine's period detector rather than simulated event by event.
+     simulated + extrapolated = instances covered; a plain single-run
+     simulation is (1, 0). *)
+  simulated_instances : int;
+  extrapolated_instances : int;
 }
 
 let active_cores t =
@@ -79,13 +86,19 @@ let max_local_resident_peak_bytes t =
 
 let pp ppf t =
   let e = t.energy in
+  let instances = t.simulated_instances + t.extrapolated_instances in
+  let pp_provenance ppf () =
+    if instances > 1 then
+      Fmt.pf ppf "@,  instances: %d (%d simulated, %d extrapolated)" instances
+        t.simulated_instances t.extrapolated_instances
+  in
   Fmt.pf ppf
     "@[<v>%s [%a]: makespan %.2f us (throughput %.1f inf/s, latency %.2f us)@,\
     \  energy: %.2f uJ dynamic (MVM %.2f, VEC %.2f, local %.2f, global %.2f, \
      NoC %.2f) + %.2f uJ static@,\
     \  traffic: %d msgs, %.1f kB loaded, %.1f kB stored@,\
     \  cores active: %d/%d, local demand peak %.1f kB max / %.1f kB avg, \
-     resident peak %.1f kB max@]"
+     resident peak %.1f kB max%a@]"
     t.graph_name Pimcomp.Mode.pp t.mode (t.makespan_ns /. 1e3)
     t.throughput_ips (t.latency_ns /. 1e3)
     (dynamic_pj e /. 1e6) (e.mvm_pj /. 1e6) (e.vec_pj /. 1e6)
@@ -98,3 +111,4 @@ let pp ppf t =
     (float_of_int (max_local_peak_bytes t) /. 1024.)
     (avg_local_peak_bytes t /. 1024.)
     (float_of_int (max_local_resident_peak_bytes t) /. 1024.)
+    pp_provenance ()

@@ -36,6 +36,12 @@ type t = {
   local_resident_peak_bytes : int array;
       (** per-core bytes actually held on chip at the worst moment *)
   deadlocked : bool;
+  simulated_instances : int;
+      (** inference instances simulated event by event *)
+  extrapolated_instances : int;
+      (** instances closed analytically by the streaming period detector;
+          [simulated_instances + extrapolated_instances] is the number of
+          instances the metrics cover (1 + 0 for a plain single run) *)
 }
 
 val active_cores : t -> int

@@ -10,6 +10,7 @@
 val eval_jobs :
   ?pool:Parallel_sweep.pool ->
   ?cache:Pimcomp.Cache.t ->
+  ?batches:int ->
   networks:(string * Nnir.Graph.t) array ->
   Pimcomp.Synth.job array ->
   Pimcomp.Synth.evaluation array
@@ -19,6 +20,13 @@ val eval_jobs :
     stored programs) and simulates the program; the time objective is
     end-to-end latency in LL mode and the inverse throughput period in
     HT mode, the energy objective is {!Metrics.total_pj}.
+
+    With [batches > 1] (default 1) the simulation instead streams that
+    many pipelined inferences ({!Batch.run_stream}, period detection
+    on) and both objectives are amortised per inference — the
+    steady-state cost a deployed accelerator would see rather than the
+    cold-start one.  [batches = 1] is byte-identical to the plain
+    single-inference path.
 
     A compile rejected as infeasible ({!Pimcomp.Chromosome.Infeasible}
     or a constraint [Invalid_argument]) and a simulation that deadlocks
@@ -30,9 +38,11 @@ val eval_jobs :
 val evaluator :
   ?pool:Parallel_sweep.pool ->
   ?cache:Pimcomp.Cache.t ->
+  ?batches:int ->
   networks:(string * Nnir.Graph.t) array ->
   unit ->
   Pimcomp.Synth.job array ->
   Pimcomp.Synth.evaluation array
-(** [evaluator ?pool ?cache ~networks ()] is [eval_jobs] partially
-    applied — the shape {!Pimcomp.Synth.run} expects for [eval]. *)
+(** [evaluator ?pool ?cache ?batches ~networks ()] is [eval_jobs]
+    partially applied — the shape {!Pimcomp.Synth.run} expects for
+    [eval]. *)
